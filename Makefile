@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain go-tool underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B bench per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper's evaluation artifacts (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/benchtool -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/kvupdate
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/ftprules
+
+clean:
+	$(GO) clean -testcache

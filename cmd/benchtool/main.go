@@ -1,0 +1,81 @@
+// Command benchtool regenerates the paper's evaluation artifacts (§6):
+//
+//	benchtool -experiment table1   # Vsftpd rewrite-rule counts
+//	benchtool -experiment table2   # steady-state throughput/overhead
+//	benchtool -experiment fig6     # throughput while updating
+//	benchtool -experiment fig7     # update pause vs ring-buffer size
+//	benchtool -experiment faults   # §6.2 fault-tolerance runs
+//	benchtool -experiment rolling  # rolling-upgrade comparison (§1.1 extension)
+//	benchtool -experiment all      # everything
+//
+// All measurements run in deterministic virtual time; see DESIGN.md for
+// the substitution rationale and internal/bench/costmodel.go for the
+// calibrated cost constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mvedsua/internal/bench"
+	"mvedsua/internal/rolling"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|rolling|all")
+	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
+	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
+	flag.Parse()
+
+	run := func(name string) bool { return *experiment == name || *experiment == "all" }
+	start := time.Now()
+
+	if run("table1") {
+		fmt.Println(bench.FormatTable1(bench.Table1()))
+	}
+	if run("table2") {
+		cfg := bench.DefaultTable2Config
+		cfg.Window = *window
+		cells, err := bench.Table2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable2(cells))
+	}
+	if run("fig6") {
+		results, err := bench.Fig6(bench.DefaultFig6Config)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatFig6(results))
+	}
+	if run("fig7") {
+		cfg := bench.DefaultFig7Config
+		if *full {
+			cfg = bench.Fig7Config{Entries: 1 << 20, PostUpdate: 20 * time.Second}
+		}
+		results, err := bench.Fig7(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatFig7(results, cfg))
+	}
+	if run("faults") {
+		fmt.Println(bench.FormatFaults(bench.Faults()))
+	}
+	if run("rolling") {
+		results, err := rolling.Compare(4, 20000, "2.0.0", "2.0.1")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rolling.FormatComparison(results))
+	}
+	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// kvupdate walks the Redis-like store through its whole version lineage
+// (2.0.0 → 2.0.3, the versions the paper evaluates in §5.2), committing
+// each update under live traffic, and then demonstrates the §6.2
+// "error in the new code" scenario: an update that reintroduces the
+// HMGET crash is detected and rolled back with no client impact.
+//
+//	go run ./examples/kvupdate
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/core"
+	"mvedsua/internal/sim"
+)
+
+func main() {
+	world := apptest.NewWorld(core.Config{})
+	world.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+
+	world.S.Go("client", func(tk *sim.Task) {
+		defer world.Finish()
+		c := apptest.Connect(world.K, tk, kvstore.Port)
+		defer c.Close(tk)
+
+		c.Do(tk, "SET inventory:widgets 250")
+		c.Do(tk, "HSET user:1 name alice")
+
+		// March through the lineage. 2.0.0 -> 2.0.1 needs one DSL rule
+		// (the reply write and the stats clock swapped order); the
+		// other pairs need none — matching §5.2.
+		for i := 0; i+1 < len(kvstore.Versions); i++ {
+			from, to := kvstore.Versions[i], kvstore.Versions[i+1]
+			v := kvstore.Update(from, to, kvstore.UpdateOpts{PerEntryXform: time.Microsecond})
+			rules := 0
+			if v.Rules != nil {
+				rules = len(v.Rules.Rules)
+			}
+			fmt.Printf("== update %s -> %s (%d rule(s)) ==\n", from, to, rules)
+			if !world.C.Update(v) {
+				log.Fatalf("update to %s rejected", to)
+			}
+			for j := 0; j < 4; j++ {
+				c.Do(tk, "INCR requests")
+				tk.Sleep(10 * time.Millisecond)
+			}
+			if world.C.Stage() != core.StageOutdatedLeader {
+				log.Fatalf("update to %s failed: %v", to, world.C.Monitor().Divergences())
+			}
+			world.C.Promote()
+			for j := 0; j < 4; j++ {
+				c.Do(tk, "INCR requests")
+				tk.Sleep(10 * time.Millisecond)
+			}
+			world.C.Commit()
+			fmt.Printf("   now running %s; state intact: GET inventory:widgets -> %s",
+				world.C.LeaderRuntime().App().Version(),
+				c.Do(tk, "GET inventory:widgets"))
+		}
+
+		// 2.0.3 features are live.
+		fmt.Printf("   APPEND works: %s", c.Do(tk, "APPEND inventory:widgets +"))
+
+		// Now the fault: pretend the next "update" reintroduces the
+		// HMGET bug. We model it as a (hypothetical) re-update carrying
+		// the bad revision; MVEDSUA detects the follower crash on the
+		// bad command and rolls back.
+		fmt.Println("\n== injecting the HMGET crash via a bad update ==")
+		world.S.Go("bad-update", func(tk2 *sim.Task) {})
+		// Roll the demo back to 2.0.0 semantics by restarting the
+		// lineage story on a fresh world would be clumsy; instead show
+		// it directly on a second world:
+		demoNewCodeError()
+	})
+
+	if err := world.Run(time.Hour); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func demoNewCodeError() {
+	world := apptest.NewWorld(core.Config{})
+	world.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	world.S.Go("client", func(tk *sim.Task) {
+		defer world.Finish()
+		c := apptest.Connect(world.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		c.Do(tk, "SET plain just-a-string")
+		world.C.Update(kvstore.Update("2.0.0", "2.0.1",
+			kvstore.UpdateOpts{BugHMGET: true, PerEntryXform: time.Microsecond}))
+		for j := 0; j < 4; j++ {
+			c.Do(tk, "INCR warm")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		reply := c.Do(tk, "HMGET plain field")
+		fmt.Printf("   client sees the correct error: %s", reply)
+		tk.Sleep(50 * time.Millisecond)
+		fmt.Printf("   stage after follower crash: %v (leader still %s)\n",
+			world.C.Stage(), world.C.LeaderRuntime().App().Version())
+		for _, ev := range world.C.Timeline() {
+			if strings.Contains(ev.Note, "rolled back") {
+				fmt.Println("   " + ev.Note)
+			}
+		}
+	})
+	if err := world.Run(time.Hour); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mvedsua
+
+go 1.22

@@ -1,0 +1,569 @@
+// Package kvstore implements the reproduction's Redis counterpart: a
+// single-threaded, epoll-driven, in-memory key-value server speaking a
+// RESP-like text protocol. It is one of the three servers of the paper's
+// evaluation (§5.2), with the version lineage 2.0.0 → 2.0.3 used there:
+//
+//   - 2.0.1 reverses the order of two system calls when handling client
+//     commands (the stats clock and the reply write), which is why the
+//     2.0.0→2.0.1 update needs exactly one DSL rule in the paper;
+//   - 2.0.2 adds APPEND; 2.0.3 adds GETSET;
+//   - all versions optionally carry revision 7fb16bac's bug: HMGET
+//     against a key of the wrong type crashes the server (§6.2).
+//
+// Beyond the paper's lineage, version 2.1.0 adds key expiry (EXPIRE and
+// TTL) as an extension exercise: expiry decisions depend on the clock
+// syscall, whose results MVE replays to the follower, so time-dependent
+// state stays identical across versions. 2.1.0 also samples the clock
+// before executing each command (it needs "now" for expiry), changing
+// the per-command syscall order — the update therefore ships rewrite
+// rules, like 2.0.0→2.0.1 does.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/proto"
+	"mvedsua/internal/sysabi"
+)
+
+// Port is the server's listening port.
+const Port = 6379
+
+// Spec captures version-specific behaviour. A single code base with
+// feature switches stands in for the four source trees.
+type Spec struct {
+	Version string
+	// ClockBeforeWrite: 2.0.0 samples the stats clock before writing the
+	// reply; 2.0.1 onwards reversed the two calls.
+	ClockBeforeWrite bool
+	// HasAppend: APPEND exists from 2.0.2.
+	HasAppend bool
+	// HasGetSet: GETSET exists from 2.0.3.
+	HasGetSet bool
+	// HasExpire: EXPIRE/TTL exist from 2.1.0 (extension version), which
+	// also samples the clock before executing each command.
+	HasExpire bool
+	// BugHMGET injects revision 7fb16bac: HMGET on a non-hash key
+	// crashes instead of replying -WRONGTYPE.
+	BugHMGET bool
+}
+
+// Versions in lineage order; 2.1.0 is this reproduction's extension
+// version (key expiry).
+var Versions = []string{"2.0.0", "2.0.1", "2.0.2", "2.0.3", "2.1.0"}
+
+// SpecFor builds the Spec for a version, optionally with the HMGET bug.
+func SpecFor(version string, bugHMGET bool) Spec {
+	s := Spec{Version: version, BugHMGET: bugHMGET}
+	switch version {
+	case "2.0.0":
+		s.ClockBeforeWrite = true
+	case "2.0.1":
+	case "2.0.2":
+		s.HasAppend = true
+	case "2.0.3":
+		s.HasAppend = true
+		s.HasGetSet = true
+	case "2.1.0":
+		s.HasAppend = true
+		s.HasGetSet = true
+		s.HasExpire = true
+	default:
+		panic("kvstore: unknown version " + version)
+	}
+	return s
+}
+
+// valueType tags entries.
+type valueType int
+
+const (
+	typeString valueType = iota
+	typeHash
+)
+
+type entry struct {
+	typ  valueType
+	str  string
+	hash map[string]string
+	// expireAt is the virtual-time deadline after which the entry is
+	// treated as absent (0 = no expiry). Only 2.1.0+ sets it.
+	expireAt time.Duration
+}
+
+func (e *entry) clone() *entry {
+	out := &entry{typ: e.typ, str: e.str, expireAt: e.expireAt}
+	if e.hash != nil {
+		out.hash = make(map[string]string, len(e.hash))
+		for k, v := range e.hash {
+			out.hash[k] = v
+		}
+	}
+	return out
+}
+
+type connState struct {
+	in *proto.LineBuffer
+}
+
+// Server is one version instance of the store. It implements dsu.App.
+type Server struct {
+	spec Spec
+
+	listenFD int
+	epollFD  int
+	conns    map[int]*connState
+	db       map[string]*entry
+
+	// Ops counts executed commands (exported for benchmarks).
+	Ops int64
+	// CmdCPU is the user-space CPU charged per command (benchmark cost
+	// model; zero in functional tests).
+	CmdCPU time.Duration
+	// ListenPort overrides the default Port when non-zero (cluster
+	// deployments run several nodes side by side).
+	ListenPort int64
+}
+
+// New builds a cold server for the given spec.
+func New(spec Spec) *Server {
+	return &Server{
+		spec:  spec,
+		conns: make(map[int]*connState),
+		db:    make(map[string]*entry),
+	}
+}
+
+// Version implements dsu.App.
+func (s *Server) Version() string { return s.spec.Version }
+
+// Spec returns the server's version spec.
+func (s *Server) Spec() Spec { return s.spec }
+
+// DBSize returns the number of keys (state-size hook for benchmarks).
+func (s *Server) DBSize() int { return len(s.db) }
+
+// Preload inserts n synthetic string entries directly into the store
+// (Figure 7's 1M-entry initial state).
+func (s *Server) Preload(n int) {
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key:%08d", i)
+		s.db[k] = &entry{typ: typeString, str: fmt.Sprintf("val:%08d", i)}
+	}
+}
+
+// Get returns a key's string value, for tests.
+func (s *Server) Get(key string) (string, bool) {
+	e, ok := s.db[key]
+	if !ok || e.typ != typeString {
+		return "", false
+	}
+	return e.str, true
+}
+
+// NetworkFDs returns every kernel descriptor the server holds (listener,
+// epoll, connections); a cluster manager closes these to simulate the
+// process dying, as a real restart would reset client connections.
+func (s *Server) NetworkFDs() []int {
+	fds := []int{s.listenFD, s.epollFD}
+	for fd := range s.conns {
+		fds = append(fds, fd)
+	}
+	return fds
+}
+
+// ResetSessions drops all connection state (a checkpointed restart has
+// no live connections).
+func (s *Server) ResetSessions() {
+	s.conns = make(map[int]*connState)
+}
+
+// AdoptState takes ownership of another instance's store contents (a
+// checkpoint restore).
+func (s *Server) AdoptState(from *Server) {
+	s.db = from.db
+	from.db = make(map[string]*entry)
+}
+
+// Fork implements dsu.App with a deep copy.
+func (s *Server) Fork() dsu.App {
+	out := &Server{
+		spec:       s.spec,
+		listenFD:   s.listenFD,
+		epollFD:    s.epollFD,
+		conns:      make(map[int]*connState, len(s.conns)),
+		db:         make(map[string]*entry, len(s.db)),
+		Ops:        s.Ops,
+		CmdCPU:     s.CmdCPU,
+		ListenPort: s.ListenPort,
+	}
+	for fd, cs := range s.conns {
+		out.conns[fd] = &connState{in: cs.in.Clone()}
+	}
+	for k, e := range s.db {
+		out.db[k] = e.clone()
+	}
+	return out
+}
+
+// Main implements dsu.App: the epoll-driven serving loop.
+func (s *Server) Main(env *dsu.Env) {
+	if !env.Updating() {
+		port := s.ListenPort
+		if port == 0 {
+			port = Port
+		}
+		r := env.Sys(sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{port, 0}})
+		if !r.OK() {
+			panic(fmt.Sprintf("kvstore: bind port %d: %v", port, r.Err))
+		}
+		s.listenFD = int(r.Ret)
+		r = env.Sys(sysabi.Call{Op: sysabi.OpEpollCreate})
+		s.epollFD = int(r.Ret)
+		env.Sys(sysabi.Call{Op: sysabi.OpEpollCtl, FD: s.epollFD, Args: [2]int64{int64(s.listenFD), 1}})
+	}
+	for !env.Exiting() {
+		if env.UpdatePoint("main_loop") == dsu.Exit {
+			return
+		}
+		r := env.Sys(sysabi.Call{Op: sysabi.OpEpollWait, FD: s.epollFD, Args: [2]int64{64, 0}})
+		if !r.OK() {
+			return
+		}
+		for _, fd := range r.Ready {
+			if fd == s.listenFD {
+				s.acceptOne(env)
+				continue
+			}
+			if !s.serveConn(env, fd) {
+				continue
+			}
+		}
+	}
+}
+
+func (s *Server) acceptOne(env *dsu.Env) {
+	r := env.Sys(sysabi.Call{Op: sysabi.OpAccept, FD: s.listenFD})
+	if !r.OK() {
+		return
+	}
+	fd := int(r.Ret)
+	s.conns[fd] = &connState{in: &proto.LineBuffer{}}
+	env.Sys(sysabi.Call{Op: sysabi.OpEpollCtl, FD: s.epollFD, Args: [2]int64{int64(fd), 1}})
+}
+
+// serveConn reads available data and executes complete commands. It
+// reports false if the connection was closed.
+func (s *Server) serveConn(env *dsu.Env, fd int) bool {
+	cs, ok := s.conns[fd]
+	if !ok {
+		return false
+	}
+	r := env.Sys(sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{4096, 0}})
+	if !r.OK() || r.Ret == 0 {
+		s.closeConn(env, fd)
+		return false
+	}
+	cs.in.Feed(r.Data)
+	for {
+		line, ok := cs.in.Next()
+		if !ok {
+			break
+		}
+		if s.CmdCPU > 0 {
+			env.Task().Advance(s.CmdCPU)
+		}
+		if s.spec.HasExpire {
+			// 2.1.0 samples the clock before executing: expiry needs
+			// "now", and via MVE replay the follower sees the leader's
+			// timestamp, keeping expiry decisions identical.
+			now := time.Duration(env.Sys(sysabi.Call{Op: sysabi.OpClock}).Ret)
+			reply := s.executeAt(now, line)
+			env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: reply})
+			continue
+		}
+		reply := s.execute(line)
+		s.respond(env, fd, reply)
+	}
+	return true
+}
+
+func (s *Server) closeConn(env *dsu.Env, fd int) {
+	env.Sys(sysabi.Call{Op: sysabi.OpEpollCtl, FD: s.epollFD, Args: [2]int64{int64(fd), 0}})
+	env.Sys(sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	delete(s.conns, fd)
+}
+
+// respond writes the reply and samples the stats clock, in the
+// version-specific order (the 2.0.0 vs 2.0.1 difference of §5.2).
+func (s *Server) respond(env *dsu.Env, fd int, reply []byte) {
+	if s.spec.ClockBeforeWrite {
+		env.Sys(sysabi.Call{Op: sysabi.OpClock})
+		env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: reply})
+	} else {
+		env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: reply})
+		env.Sys(sysabi.Call{Op: sysabi.OpClock})
+	}
+}
+
+// execute runs one command line with no time context (pre-2.1.0).
+func (s *Server) execute(line string) []byte { return s.executeAt(0, line) }
+
+// lookup returns the live entry for key, lazily deleting it if expired
+// as of now (the 2.1.0 expiry semantics; now==0 disables expiry).
+func (s *Server) lookup(now time.Duration, key string) (*entry, bool) {
+	e, ok := s.db[key]
+	if !ok {
+		return nil, false
+	}
+	if now > 0 && e.expireAt > 0 && now >= e.expireAt {
+		delete(s.db, key)
+		return nil, false
+	}
+	return e, true
+}
+
+// executeAt runs one command line and returns the encoded reply; now is
+// the pre-sampled clock for expiry decisions (0 before 2.1.0).
+func (s *Server) executeAt(now time.Duration, line string) []byte {
+	s.Ops++
+	args := proto.Fields(line)
+	if len(args) == 0 {
+		return proto.ErrorReply("empty command")
+	}
+	cmd := args[0]
+	switch cmd {
+	case "PING", "ping":
+		return proto.SimpleString("PONG")
+	case "SET", "set":
+		if len(args) < 3 {
+			return proto.ErrorReply("wrong number of arguments for 'set' command")
+		}
+		s.db[args[1]] = &entry{typ: typeString, str: args[2]}
+		return proto.SimpleString("OK")
+	case "GET", "get":
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'get' command")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok {
+			return proto.NullBulk()
+		}
+		if e.typ != typeString {
+			return proto.WrongTypeReply()
+		}
+		return proto.Bulk(e.str)
+	case "DEL", "del":
+		if len(args) < 2 {
+			return proto.ErrorReply("wrong number of arguments for 'del' command")
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			if _, ok := s.db[k]; ok {
+				delete(s.db, k)
+				n++
+			}
+		}
+		return proto.Integer(n)
+	case "EXISTS", "exists":
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'exists' command")
+		}
+		if _, ok := s.lookup(now, args[1]); ok {
+			return proto.Integer(1)
+		}
+		return proto.Integer(0)
+	case "INCR", "incr":
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'incr' command")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok {
+			e = &entry{typ: typeString, str: "0"}
+			s.db[args[1]] = e
+		}
+		if e.typ != typeString {
+			return proto.WrongTypeReply()
+		}
+		n, err := strconv.ParseInt(e.str, 10, 64)
+		if err != nil {
+			return proto.ErrorReply("value is not an integer or out of range")
+		}
+		n++
+		e.str = strconv.FormatInt(n, 10)
+		return proto.Integer(n)
+	case "HSET", "hset":
+		if len(args) != 4 {
+			return proto.ErrorReply("wrong number of arguments for 'hset' command")
+		}
+		e, ok := s.db[args[1]]
+		if !ok {
+			e = &entry{typ: typeHash, hash: make(map[string]string)}
+			s.db[args[1]] = e
+		}
+		if e.typ != typeHash {
+			return proto.WrongTypeReply()
+		}
+		_, existed := e.hash[args[2]]
+		e.hash[args[2]] = args[3]
+		if existed {
+			return proto.Integer(0)
+		}
+		return proto.Integer(1)
+	case "HGET", "hget":
+		if len(args) != 3 {
+			return proto.ErrorReply("wrong number of arguments for 'hget' command")
+		}
+		e, ok := s.db[args[1]]
+		if !ok || e.typ != typeHash {
+			if ok && e.typ != typeHash {
+				return proto.WrongTypeReply()
+			}
+			return proto.NullBulk()
+		}
+		v, ok := e.hash[args[2]]
+		if !ok {
+			return proto.NullBulk()
+		}
+		return proto.Bulk(v)
+	case "HMGET", "hmget":
+		if len(args) < 3 {
+			return proto.ErrorReply("wrong number of arguments for 'hmget' command")
+		}
+		e, ok := s.db[args[1]]
+		if ok && e.typ != typeHash {
+			if s.spec.BugHMGET {
+				// Revision 7fb16bac: the wrong-type check is missing and
+				// the hash accessor dereferences a string entry.
+				panic(fmt.Sprintf("kvstore %s: segfault in hmgetCommand (HMGET on %q of wrong type)",
+					s.spec.Version, args[1]))
+			}
+			return proto.WrongTypeReply()
+		}
+		items := make([]*string, 0, len(args)-2)
+		for _, f := range args[2:] {
+			if ok {
+				if v, has := e.hash[f]; has {
+					v := v
+					items = append(items, &v)
+					continue
+				}
+			}
+			items = append(items, nil)
+		}
+		return proto.Array(items)
+	case "TYPE", "type":
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'type' command")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok {
+			return proto.SimpleString("none")
+		}
+		if e.typ == typeHash {
+			return proto.SimpleString("hash")
+		}
+		return proto.SimpleString("string")
+	case "DBSIZE", "dbsize":
+		return proto.Integer(int64(len(s.db)))
+	case "KEYS", "keys":
+		keys := make([]string, 0, len(s.db))
+		for k := range s.db {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		items := make([]*string, len(keys))
+		for i := range keys {
+			items[i] = &keys[i]
+		}
+		return proto.Array(items)
+	case "FLUSHDB", "flushdb":
+		s.db = make(map[string]*entry)
+		return proto.SimpleString("OK")
+	case "APPEND", "append":
+		if !s.spec.HasAppend {
+			return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+		}
+		if len(args) != 3 {
+			return proto.ErrorReply("wrong number of arguments for 'append' command")
+		}
+		e, ok := s.db[args[1]]
+		if !ok {
+			e = &entry{typ: typeString}
+			s.db[args[1]] = e
+		}
+		if e.typ != typeString {
+			return proto.WrongTypeReply()
+		}
+		e.str += args[2]
+		return proto.Integer(int64(len(e.str)))
+	case "GETSET", "getset":
+		if !s.spec.HasGetSet {
+			return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+		}
+		if len(args) != 3 {
+			return proto.ErrorReply("wrong number of arguments for 'getset' command")
+		}
+		e, ok := s.db[args[1]]
+		old := proto.NullBulk()
+		if ok {
+			if e.typ != typeString {
+				return proto.WrongTypeReply()
+			}
+			old = proto.Bulk(e.str)
+		}
+		s.db[args[1]] = &entry{typ: typeString, str: args[2]}
+		return old
+	case "EXPIRE", "expire":
+		if !s.spec.HasExpire {
+			return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+		}
+		if len(args) != 3 {
+			return proto.ErrorReply("wrong number of arguments for 'expire' command")
+		}
+		secs, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil || secs < 0 {
+			return proto.ErrorReply("value is not an integer or out of range")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok {
+			return proto.Integer(0)
+		}
+		e.expireAt = now + time.Duration(secs)*time.Second
+		return proto.Integer(1)
+	case "PERSIST", "persist":
+		if !s.spec.HasExpire {
+			return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+		}
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'persist' command")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok || e.expireAt == 0 {
+			return proto.Integer(0)
+		}
+		e.expireAt = 0
+		return proto.Integer(1)
+	case "TTL", "ttl":
+		if !s.spec.HasExpire {
+			return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+		}
+		if len(args) != 2 {
+			return proto.ErrorReply("wrong number of arguments for 'ttl' command")
+		}
+		e, ok := s.lookup(now, args[1])
+		if !ok {
+			return proto.Integer(-2)
+		}
+		if e.expireAt == 0 {
+			return proto.Integer(-1)
+		}
+		return proto.Integer(int64((e.expireAt - now) / time.Second))
+	default:
+		return proto.ErrorReply(fmt.Sprintf("unknown command '%s'", cmd))
+	}
+}

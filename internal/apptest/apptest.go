@@ -1,0 +1,122 @@
+// Package apptest provides shared scaffolding for application-level
+// tests and benchmarks: a simulated world (scheduler + kernel + MVEDSUA
+// controller) and a blocking text-protocol client.
+package apptest
+
+import (
+	"strings"
+	"time"
+
+	"mvedsua/internal/core"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// World bundles a scheduler, kernel and MVEDSUA controller for a
+// scenario run.
+type World struct {
+	S *sim.Scheduler
+	K *vos.Kernel
+	C *core.Controller
+
+	done bool
+}
+
+// NewWorld builds a fresh world with the given controller config.
+func NewWorld(cfg core.Config) *World {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	return &World{S: s, K: k, C: core.New(k, cfg)}
+}
+
+// Finish marks the scenario complete; the teardown task then reaps all
+// runtime tasks so the scheduler can drain.
+func (w *World) Finish() { w.done = true }
+
+// Done reports whether Finish was called.
+func (w *World) Done() bool { return w.done }
+
+// Run executes the world until the driver calls Finish (or hard timeout
+// in virtual time), then tears the service down. It returns any
+// scheduler error.
+func (w *World) Run(maxVirtual time.Duration) error {
+	if maxVirtual <= 0 {
+		maxVirtual = time.Hour
+	}
+	w.S.Go("apptest/teardown", func(tk *sim.Task) {
+		deadline := tk.Now() + maxVirtual
+		for !w.done && tk.Now() < deadline {
+			tk.Sleep(20 * time.Millisecond)
+		}
+		if rt := w.C.FollowerRuntime(); rt != nil {
+			rt.KillAll()
+		}
+		w.C.Monitor().DropFollower()
+		if rt := w.C.LeaderRuntime(); rt != nil {
+			rt.KillAll()
+		}
+	})
+	return w.S.Run()
+}
+
+// Client is a blocking text-protocol client speaking over the virtual
+// kernel. Each Do issues one command and reads one reply burst.
+type Client struct {
+	k  *vos.Kernel
+	fd int
+}
+
+// Connect dials the port. It must run inside a sim task.
+func Connect(k *vos.Kernel, tk *sim.Task, port int64) *Client {
+	r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{port, 0}})
+	if !r.OK() {
+		panic("apptest: connect failed: " + r.Err.Error())
+	}
+	return &Client{k: k, fd: int(r.Ret)}
+}
+
+// FD returns the client-side descriptor.
+func (c *Client) FD() int { return c.fd }
+
+// Send writes raw bytes on the connection.
+func (c *Client) Send(tk *sim.Task, data string) {
+	c.k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: c.fd, Buf: []byte(data)})
+}
+
+// Recv reads one burst (up to 64KiB) and returns it as a string. It
+// blocks until data or EOF.
+func (c *Client) Recv(tk *sim.Task) string {
+	r := c.k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: c.fd, Args: [2]int64{65536, 0}})
+	if !r.OK() {
+		return ""
+	}
+	return string(r.Data)
+}
+
+// Do sends one CRLF-terminated command line and returns the reply burst.
+func (c *Client) Do(tk *sim.Task, cmd string) string {
+	c.Send(tk, cmd+"\r\n")
+	return c.Recv(tk)
+}
+
+// RecvUntil keeps reading until the accumulated reply contains the
+// marker (for multi-part replies such as FTP transfers).
+func (c *Client) RecvUntil(tk *sim.Task, marker string) string {
+	var b strings.Builder
+	for {
+		part := c.Recv(tk)
+		if part == "" {
+			return b.String()
+		}
+		b.WriteString(part)
+		if strings.Contains(b.String(), marker) {
+			return b.String()
+		}
+	}
+}
+
+// Close shuts the connection.
+func (c *Client) Close(tk *sim.Task) {
+	c.k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: c.fd})
+}

@@ -1,0 +1,117 @@
+package apptest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/core"
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// echoServer is a trivial dsu.App used to exercise the client helpers.
+type echoServer struct {
+	listenFD int
+	connFD   int
+}
+
+func (a *echoServer) Version() string { return "v1" }
+func (a *echoServer) Fork() dsu.App   { cp := *a; return &cp }
+func (a *echoServer) Main(env *dsu.Env) {
+	if !env.Updating() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{4242, 0}})
+		a.listenFD = int(r.Ret)
+		r = env.Sys(sysabi.Call{Op: sysabi.OpAccept, FD: a.listenFD})
+		a.connFD = int(r.Ret)
+	}
+	for !env.Exiting() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpRead, FD: a.connFD, Args: [2]int64{128, 0}})
+		if !r.OK() || r.Ret == 0 {
+			return
+		}
+		env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: a.connFD, Buf: r.Data})
+		if env.UpdatePoint("loop") == dsu.Exit {
+			return
+		}
+	}
+}
+
+func TestWorldRunFinishesOnFinish(t *testing.T) {
+	w := NewWorld(core.Config{})
+	w.C.Start(&echoServer{})
+	var got string
+	w.S.Go("client", func(tk *sim.Task) {
+		c := Connect(w.K, tk, 4242)
+		got = c.Do(tk, "hello")
+		c.Close(tk)
+		w.Finish()
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "hello\r\n" {
+		t.Fatalf("echo = %q", got)
+	}
+	if !w.Done() {
+		t.Fatal("Done not reported")
+	}
+}
+
+func TestWorldRunTimesOutWithoutFinish(t *testing.T) {
+	w := NewWorld(core.Config{})
+	w.C.Start(&echoServer{})
+	// No client ever calls Finish; the world must still drain at the
+	// virtual deadline instead of hanging.
+	start := time.Now()
+	if err := w.Run(200 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("Run took implausibly long in wall-clock time")
+	}
+}
+
+func TestClientSendRecvUntil(t *testing.T) {
+	w := NewWorld(core.Config{})
+	w.C.Start(&echoServer{})
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := Connect(w.K, tk, 4242)
+		defer c.Close(tk)
+		c.Send(tk, "part1;")
+		c.Send(tk, "part2;END")
+		got := c.RecvUntil(tk, "END")
+		if !strings.Contains(got, "part1;") || !strings.HasSuffix(got, "END") {
+			t.Errorf("RecvUntil = %q", got)
+		}
+		if c.FD() <= 0 {
+			t.Errorf("FD = %d", c.FD())
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestConnectPanicsOnDeadPort(t *testing.T) {
+	w := NewWorld(core.Config{})
+	w.S.OnCrash = func(sim.CrashInfo) {}
+	crashed := false
+	w.S.Go("client", func(tk *sim.Task) {
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+			w.Finish()
+		}()
+		Connect(w.K, tk, 59999)
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !crashed {
+		t.Fatal("Connect to a dead port did not panic")
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/vos"
+)
+
+// Metrics collects client-side measurements: completed operations,
+// maximum latency, and per-bucket throughput samples (Figure 6's
+// ops/sec curve and Figure 7's pause measurement).
+type Metrics struct {
+	Ops        int64
+	MaxLatency time.Duration
+	BucketSize time.Duration
+	buckets    map[int]int64
+	collecting bool
+	epoch      time.Duration
+}
+
+// NewMetrics returns a metrics sink with the given throughput bucket
+// width (0 disables bucketing).
+func NewMetrics(bucket time.Duration) *Metrics {
+	return &Metrics{BucketSize: bucket, buckets: make(map[int]int64), collecting: true}
+}
+
+// Reset clears counters and restarts the bucket epoch at now (end of
+// warmup).
+func (m *Metrics) Reset(now time.Duration) {
+	m.Ops = 0
+	m.MaxLatency = 0
+	m.buckets = make(map[int]int64)
+	m.epoch = now
+}
+
+// SetCollecting toggles recording (used to exclude warmup).
+func (m *Metrics) SetCollecting(on bool) { m.collecting = on }
+
+// Record accounts one completed operation.
+func (m *Metrics) Record(start, end time.Duration) {
+	if !m.collecting {
+		return
+	}
+	m.Ops++
+	if d := end - start; d > m.MaxLatency {
+		m.MaxLatency = d
+	}
+	if m.BucketSize > 0 {
+		m.buckets[int((end-m.epoch)/m.BucketSize)]++
+	}
+}
+
+// Buckets returns per-bucket operation counts from the epoch through the
+// last non-empty bucket.
+func (m *Metrics) Buckets() []int64 {
+	max := -1
+	for i := range m.buckets {
+		if i > max {
+			max = i
+		}
+	}
+	out := make([]int64, max+1)
+	for i, n := range m.buckets {
+		if i >= 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// Throughput returns ops/sec over the given window.
+func (m *Metrics) Throughput(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / window.Seconds()
+}
+
+// KVFlavor selects the wire protocol of the KV workload.
+type KVFlavor int
+
+// KV workload flavors.
+const (
+	FlavorRESP      KVFlavor = iota // kvstore (Redis-like)
+	FlavorMemcached                 // memcache text protocol
+)
+
+// KVWorkload is a Memtier-like closed-loop client: a 90/10 read/write
+// mix over a bounded key space, starting from an empty store (§6.1).
+type KVWorkload struct {
+	Port     int64
+	Flavor   KVFlavor
+	Keys     int
+	ReadPct  int
+	ValueLen int
+	Seed     int64
+}
+
+// Run drives the workload inside a sim task until *stop, recording into
+// metrics.
+func (wl KVWorkload) Run(k *vos.Kernel, tk *sim.Task, m *Metrics, stop *bool) {
+	keys := wl.Keys
+	if keys <= 0 {
+		keys = 10000
+	}
+	readPct := wl.ReadPct
+	if readPct <= 0 {
+		readPct = 90
+	}
+	vlen := wl.ValueLen
+	if vlen <= 0 {
+		vlen = 32
+	}
+	rng := rand.New(rand.NewSource(wl.Seed))
+	value := strings.Repeat("x", vlen)
+	c := apptest.Connect(k, tk, wl.Port)
+	defer c.Close(tk)
+	for !*stop {
+		key := fmt.Sprintf("memtier-%08d", rng.Intn(keys))
+		start := tk.Now()
+		if rng.Intn(100) < readPct {
+			switch wl.Flavor {
+			case FlavorMemcached:
+				c.Send(tk, "get "+key+"\r\n")
+				c.RecvUntil(tk, "END\r\n")
+			default:
+				c.Send(tk, "GET "+key+"\r\n")
+				c.Recv(tk)
+			}
+		} else {
+			switch wl.Flavor {
+			case FlavorMemcached:
+				c.Send(tk, fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, vlen, value))
+				c.RecvUntil(tk, "\r\n")
+			default:
+				c.Send(tk, fmt.Sprintf("SET %s %s\r\n", key, value))
+				c.Recv(tk)
+			}
+		}
+		m.Record(start, tk.Now())
+	}
+}
+
+// FTPWorkload reproduces the paper's Vsftpd benchmark: log in, then
+// repeatedly download one file (§6.1).
+type FTPWorkload struct {
+	Port int64
+	File string
+}
+
+// Run drives the workload inside a sim task until *stop.
+func (wl FTPWorkload) Run(k *vos.Kernel, tk *sim.Task, m *Metrics, stop *bool) {
+	c := apptest.Connect(k, tk, wl.Port)
+	defer c.Close(tk)
+	c.RecvUntil(tk, "\r\n") // banner
+	c.Do(tk, "USER anonymous")
+	c.Do(tk, "PASS guest")
+	for !*stop {
+		start := tk.Now()
+		c.Send(tk, "RETR "+wl.File+"\r\n")
+		got := c.RecvUntil(tk, "226 Transfer complete.\r\n")
+		if got == "" {
+			return
+		}
+		m.Record(start, tk.Now())
+	}
+}

@@ -1,0 +1,401 @@
+// Package core implements MVEDSUA itself: the controller that combines
+// the DSU framework (internal/dsu, the Kitsune counterpart) with the MVE
+// monitor (internal/mve, the Varan counterpart) to deliver low-latency,
+// error-tolerant dynamic updates (§3 of the paper).
+//
+// The controller drives the paper's Figure 2 stage machine:
+//
+//	SingleLeader ──Update()──▶ OutdatedLeader ──Promote()──▶ UpdatedLeader ──Commit()──▶ SingleLeader
+//	      ▲                         │ divergence/crash/Rollback()                │ old-version divergence
+//	      └─────────────────────────┴──────────────────────────────────────────┘
+//
+// Updates are applied on a forked follower while the leader keeps
+// serving; the follower catches up through the ring buffer; divergences
+// and crashes of the updated version roll the update back with no state
+// loss; crashes of the old version promote the new one.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/mve"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/vos"
+)
+
+// Stage is the controller's position in the Figure 2 lifecycle.
+type Stage int
+
+// Stages.
+const (
+	StageSingleLeader   Stage = iota // t0-t1, t6-: one version, light interception
+	StageOutdatedLeader              // t1-t4: old version leads, new follows
+	StagePromoting                   // t4-t5: demotion written, buffer draining
+	StageUpdatedLeader               // t5-t6: new version leads, old follows
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageSingleLeader:
+		return "single-leader"
+	case StageOutdatedLeader:
+		return "outdated-leader"
+	case StagePromoting:
+		return "promoting"
+	case StageUpdatedLeader:
+		return "updated-leader"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Event is one entry of the controller's timeline (stage changes,
+// rollbacks, retries); the Figure 6 experiment annotates throughput
+// curves with these.
+type Event struct {
+	At    time.Duration
+	Stage Stage
+	Note  string
+}
+
+// Config configures the controller.
+type Config struct {
+	// BufferEntries sizes the MVE ring buffer (the paper evaluates 2^10,
+	// 2^20 and 2^24; its steady-state default is 256).
+	BufferEntries int
+	// Costs are the MVE monitoring costs (see mve.Costs).
+	Costs mve.Costs
+	// DSU is the template for per-process DSU runtimes. Dispatcher,
+	// TakeUpdate, ParallelXform and OnOutcome are owned by the
+	// controller and overwritten.
+	DSU dsu.Config
+	// RetryInterval re-attempts updates that failed with a quiescence
+	// timeout (§6.2 retried every 500ms). Zero disables retry.
+	RetryInterval time.Duration
+	// MaxRetries bounds timing-error retries. Zero means 8, matching the
+	// paper's observed maximum.
+	MaxRetries int
+	// RetryOnRollback also retries updates that were rolled back by a
+	// divergence (used for nondeterministic, timing-induced divergences
+	// such as the LibEvent dispatch-order mismatch of §6.2; deterministic
+	// failures should be fixed and resubmitted instead).
+	RetryOnRollback bool
+	// Lockstep switches the monitor to the MUC/Mx lockstep model
+	// (comparison baseline only).
+	Lockstep bool
+}
+
+// Controller is the MVEDSUA orchestrator for one service.
+type Controller struct {
+	sched  *sim.Scheduler
+	kernel *vos.Kernel
+	cfg    Config
+	mon    *mve.Monitor
+
+	stage      Stage
+	leaderRT   *dsu.Runtime // runtime of the process currently leading
+	otherRT    *dsu.Runtime // runtime of the follower process (either stage)
+	pending    *dsu.Version
+	retries    int
+	nextProcID int
+
+	timeline []Event
+
+	// OnCrash, if non-nil, observes crashes the controller already
+	// handled (rollbacks/promotions) as well as unhandled ones.
+	OnCrash func(sim.CrashInfo, bool)
+	// OnStage, if non-nil, observes stage transitions.
+	OnStage func(Event)
+}
+
+// New builds a controller on the kernel's scheduler.
+func New(kernel *vos.Kernel, cfg Config) *Controller {
+	if cfg.BufferEntries == 0 {
+		cfg.BufferEntries = 256
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	c := &Controller{
+		sched:  kernel.Scheduler(),
+		kernel: kernel,
+		cfg:    cfg,
+		mon:    mve.New(kernel, cfg.BufferEntries, cfg.Costs),
+		stage:  StageSingleLeader,
+	}
+	c.mon.Lockstep = cfg.Lockstep
+	c.mon.OnDivergence = c.handleDivergence
+	c.mon.OnPromoted = c.handlePromoted
+	// Chain with any previously installed crash handler so several
+	// controllers can share one scheduler (e.g. one per cluster node).
+	prev := c.sched.OnCrash
+	c.sched.OnCrash = func(info sim.CrashInfo) {
+		if !c.handleCrash(info) && prev != nil {
+			prev(info)
+		}
+	}
+	return c
+}
+
+// Monitor exposes the underlying MVE monitor.
+func (c *Controller) Monitor() *mve.Monitor { return c.mon }
+
+// Stage returns the current lifecycle stage.
+func (c *Controller) Stage() Stage { return c.stage }
+
+// LeaderRuntime returns the DSU runtime of the current leader process.
+func (c *Controller) LeaderRuntime() *dsu.Runtime { return c.leaderRT }
+
+// FollowerRuntime returns the DSU runtime of the follower process, or nil.
+func (c *Controller) FollowerRuntime() *dsu.Runtime { return c.otherRT }
+
+// Timeline returns the stage-transition history.
+func (c *Controller) Timeline() []Event { return c.timeline }
+
+func (c *Controller) transition(stage Stage, note string) {
+	c.stage = stage
+	ev := Event{At: c.sched.Now(), Stage: stage, Note: note}
+	c.timeline = append(c.timeline, ev)
+	if c.OnStage != nil {
+		c.OnStage(ev)
+	}
+}
+
+// Start deploys app in single-leader mode (Figure 2, t0) and returns the
+// leader's DSU runtime.
+func (c *Controller) Start(app dsu.App) *dsu.Runtime {
+	proc := c.mon.StartSingleLeader(c.procName(app.Version()))
+	cfg := c.cfg.DSU
+	cfg.Name = "leader"
+	cfg.Dispatcher = proc
+	cfg.ParallelXform = false
+	cfg.TakeUpdate = c.takeUpdate
+	cfg.OnOutcome = c.updateOutcome
+	c.leaderRT = dsu.NewRuntime(c.sched, app, cfg)
+	c.leaderRT.Start()
+	c.transition(StageSingleLeader, "deployed "+app.Version())
+	return c.leaderRT
+}
+
+func (c *Controller) procName(version string) string {
+	c.nextProcID++
+	return fmt.Sprintf("proc%d@%s", c.nextProcID, version)
+}
+
+// Update requests a dynamic update to v (Figure 2, t1). The update is
+// taken at the leader's next full quiescence: MVEDSUA forks a follower,
+// applies the update there, and begins validating it. Returns false if
+// another update is already pending or the controller is mid-update.
+func (c *Controller) Update(v *dsu.Version) bool {
+	if c.stage != StageSingleLeader || c.pending != nil {
+		return false
+	}
+	c.pending = v
+	c.retries = 0
+	return c.leaderRT.RequestUpdate(v)
+}
+
+// takeUpdate is the leader's DSU consultation hook: fork and abort.
+func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) dsu.TakeAction {
+	forked := rt.App().Fork()
+	proc := c.mon.AttachFollower(c.procName(v.Name), v.Rules)
+	cfg := c.cfg.DSU
+	cfg.Name = "follower"
+	cfg.Dispatcher = proc
+	cfg.ParallelXform = true
+	cfg.TakeUpdate = nil
+	cfg.OnOutcome = nil
+	c.otherRT = dsu.NewRuntime(c.sched, forked, cfg)
+	c.otherRT.StartUpdatedFrom(forked, v)
+	c.transition(StageOutdatedLeader, "forked follower for "+v.Name)
+	return dsu.TakeAbort
+}
+
+// updateOutcome observes the leader runtime's update records to retry
+// timing errors.
+func (c *Controller) updateOutcome(rec dsu.UpdateRecord) {
+	if rec.Outcome != dsu.OutcomeTimedOut {
+		return
+	}
+	v := c.pending
+	if v == nil || c.cfg.RetryInterval <= 0 || c.retries >= c.cfg.MaxRetries {
+		c.pending = nil
+		c.transition(c.stage, "update "+rec.Version+" abandoned after timeout")
+		return
+	}
+	c.retries++
+	n := c.retries
+	c.transition(c.stage, fmt.Sprintf("update %s timed out; retry %d scheduled", rec.Version, n))
+	c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
+		t.Sleep(c.cfg.RetryInterval)
+		if c.pending == v && c.stage == StageSingleLeader {
+			c.leaderRT.RequestUpdate(v)
+		}
+	})
+}
+
+// Retries returns how many timing-error retries the current (or last)
+// update needed.
+func (c *Controller) Retries() int { return c.retries }
+
+// Promote exposes the updated version to clients (Figure 2, t4). The
+// demotion is performed at the leader's next full quiescence — §5.3's
+// observation that update points serve "for swapping leader and
+// follower" too — so no leader thread is mid-syscall when the promotion
+// event is written, and both processes switch at equivalent program
+// points. Reverse rules from the pending version are installed on the
+// to-be-demoted leader.
+func (c *Controller) Promote() bool {
+	if c.stage != StageOutdatedLeader {
+		return false
+	}
+	if c.pending != nil {
+		c.mon.SetReverseRules(c.pending.ReverseRules)
+	}
+	if !c.leaderRT.RequestBarrier(func(t *sim.Task) {
+		c.mon.PromoteNow(t)
+	}) {
+		return false
+	}
+	c.transition(StagePromoting, "promotion requested")
+	return true
+}
+
+// handlePromoted fires when the updated version has taken over (t5).
+func (c *Controller) handlePromoted(newLeader *mve.Proc) {
+	c.leaderRT, c.otherRT = c.otherRT, c.leaderRT
+	c.transition(StageUpdatedLeader, newLeader.Name()+" now leads")
+	// If the demoted process is already dead (promotion after an
+	// old-version crash), there is nothing left to validate against:
+	// commit immediately so the buffer does not fill up unconsumed.
+	if c.otherRT == nil || c.otherRT.LiveThreads() == 0 {
+		c.Commit()
+	}
+}
+
+// Commit finalizes the update (Figure 2, t6): the outdated follower is
+// terminated and the updated version continues as single leader.
+func (c *Controller) Commit() bool {
+	if c.stage != StageUpdatedLeader {
+		return false
+	}
+	if c.otherRT != nil {
+		c.otherRT.KillAll()
+	}
+	c.mon.DropFollower()
+	c.otherRT = nil
+	c.pending = nil
+	// The promoted runtime now leads: future updates must fork again.
+	c.leaderRT.SetUpdateHooks(c.takeUpdate, c.updateOutcome, false)
+	c.transition(StageSingleLeader, "update committed")
+	return true
+}
+
+// Rollback abandons the update (any time before Commit): the follower is
+// terminated and the leader reverts to single-leader mode. No state is
+// lost — the leader kept serving throughout (§3.2 "handling new-version
+// errors").
+func (c *Controller) Rollback(reason string) bool {
+	if c.stage != StageOutdatedLeader && c.stage != StagePromoting {
+		return false
+	}
+	if c.otherRT != nil {
+		c.otherRT.KillAll()
+	}
+	c.mon.DropFollower()
+	c.otherRT = nil
+	v := c.pending
+	c.pending = nil
+	c.transition(StageSingleLeader, "rolled back: "+reason)
+	if c.cfg.RetryOnRollback && v != nil && c.cfg.RetryInterval > 0 && c.retries < c.cfg.MaxRetries {
+		c.retries++
+		n := c.retries
+		c.transition(c.stage, fmt.Sprintf("retry %d of %s scheduled after rollback", n, v.Name))
+		c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
+			t.Sleep(c.cfg.RetryInterval)
+			if c.stage == StageSingleLeader && c.pending == nil {
+				c.pending = v
+				c.leaderRT.RequestUpdate(v)
+			}
+		})
+	}
+	return true
+}
+
+// handleDivergence reacts to MVE divergences according to the stage:
+//   - outdated leader stage: the updated follower is wrong → roll back.
+//   - updated leader stage: the outdated follower disagrees with the new
+//     version's exposed semantics → terminate the outdated follower.
+func (c *Controller) handleDivergence(d mve.Divergence) {
+	switch c.stage {
+	case StageOutdatedLeader, StagePromoting:
+		c.Rollback("divergence: " + d.Reason)
+	case StageUpdatedLeader:
+		if c.otherRT != nil {
+			c.otherRT.KillAll()
+		}
+		c.mon.DropFollower()
+		c.otherRT = nil
+		c.pending = nil
+		c.transition(StageSingleLeader, "outdated follower diverged; committed "+d.Proc)
+	}
+}
+
+// handleCrash classifies a task crash by owner and stage, reporting
+// whether this controller owned the crashed task.
+func (c *Controller) handleCrash(info sim.CrashInfo) bool {
+	handled := false
+	mine := c.taskBelongs(c.leaderRT, info) || c.taskBelongs(c.otherRT, info)
+	switch {
+	case c.taskBelongs(c.otherRT, info) && (c.stage == StageOutdatedLeader || c.stage == StagePromoting):
+		// The updated follower crashed (new-code or state-transform
+		// error): roll back, clients never notice (§6.2).
+		c.Rollback(fmt.Sprintf("follower crashed: %v", info.Value))
+		handled = true
+	case c.taskBelongs(c.otherRT, info) && c.stage == StageUpdatedLeader:
+		// The outdated follower crashed after promotion: drop it.
+		c.mon.DropFollower()
+		c.otherRT = nil
+		c.pending = nil
+		c.transition(StageSingleLeader, "outdated follower crashed; committed")
+		handled = true
+	case c.taskBelongs(c.leaderRT, info) && c.stage == StageOutdatedLeader:
+		// The old version crashed while leading — likely an old-version
+		// bug fixed by the update: promote the new version (§3.2
+		// "handling old-version errors").
+		c.sched.Go("promote-on-crash", func(t *sim.Task) {
+			c.mon.PromoteNow(t)
+		})
+		c.transition(StagePromoting, fmt.Sprintf("leader crashed (%v); promoting follower", info.Value))
+		handled = true
+	case c.taskBelongs(c.leaderRT, info) && c.stage == StageUpdatedLeader:
+		// The new version crashed while leading, before the operator
+		// committed: the outdated follower is still warm and in sync,
+		// so promote it back — the update is effectively rolled back
+		// with no state loss (the symmetric case of §3.2's old-version
+		// recovery).
+		c.sched.Go("revert-on-crash", func(t *sim.Task) {
+			c.mon.PromoteNow(t)
+		})
+		c.transition(StagePromoting, fmt.Sprintf("new leader crashed (%v); reverting to old version", info.Value))
+		handled = true
+	}
+	if mine && c.OnCrash != nil {
+		c.OnCrash(info, handled)
+	}
+	return mine
+}
+
+func (c *Controller) taskBelongs(rt *dsu.Runtime, info sim.CrashInfo) bool {
+	if rt == nil {
+		return false
+	}
+	// Runtime tasks are named "<cfgname>/<thread>@<version>"; crashed
+	// tasks are matched by name prefix since the task may already be
+	// deregistered by the time the crash is reported.
+	name := rt.Config().Name + "/"
+	return len(info.Task) >= len(name) && info.Task[:len(name)] == name
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/dsl"
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// srv is the test application: a counter server whose reply format is
+// version-specific, with injectable faults.
+type srv struct {
+	version  string
+	listenFD int
+	connFD   int
+	count    int
+
+	// crashOn makes the server panic when the counter reaches the value
+	// (new-code / old-code error injection).
+	crashOn int
+	// misformatAfter makes replies wrong after the counter passes the
+	// value (semantic divergence injection); 0 disables.
+	misformatAfter int
+	// blockedWorker, when non-nil, makes Main spawn a worker that parks
+	// on the queue and only reaches an update point when woken — the
+	// paper's timing-error shape (§2.4): a thread waiting on a lock
+	// prevents quiescence.
+	blockedWorker *sim.WaitQueue
+}
+
+func (a *srv) Version() string { return a.version }
+
+func (a *srv) Fork() dsu.App {
+	cp := *a
+	return &cp
+}
+
+func (a *srv) reply() string {
+	if a.misformatAfter > 0 && a.count > a.misformatAfter {
+		return "GARBAGE"
+	}
+	if a.version == "v1" {
+		return fmt.Sprintf("%d", a.count)
+	}
+	return fmt.Sprintf("%s:%d", a.version, a.count)
+}
+
+func (a *srv) Main(env *dsu.Env) {
+	if !env.Updating() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{9000, 0}})
+		a.listenFD = int(r.Ret)
+		r = env.Sys(sysabi.Call{Op: sysabi.OpAccept, FD: a.listenFD})
+		a.connFD = int(r.Ret)
+	}
+	if a.blockedWorker != nil {
+		q := a.blockedWorker
+		env.Go("busy", func(we *dsu.Env) {
+			for !we.Exiting() {
+				we.Task().Block(q)
+				if we.UpdatePoint("busy") == dsu.Exit {
+					return
+				}
+			}
+		})
+	}
+	for !env.Exiting() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpRead, FD: a.connFD, Args: [2]int64{64, 0}})
+		if !r.OK() || r.Ret == 0 {
+			return
+		}
+		a.count++
+		if a.crashOn > 0 && a.count >= a.crashOn {
+			panic(fmt.Sprintf("%s bug at count %d", a.version, a.count))
+		}
+		env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: a.connFD, Buf: []byte(a.reply())})
+		if env.UpdatePoint("main_loop") == dsu.Exit {
+			return
+		}
+	}
+}
+
+// upgrade builds the v1 -> v2 descriptor; mutate tweaks the new instance
+// (fault injection), xformErr breaks the transformation.
+//
+// v2 prefixes replies with "v2:", an intentional behaviour change, so the
+// update ships rewrite rules (§3.3): while the old version leads, its
+// reply "N" corresponds to the follower's "v2:N"; after promotion the
+// reverse rule maps the new leader's "v2:N" back to the old follower's
+// "N".
+func upgrade(xformErr error, mutate func(*srv)) *dsu.Version {
+	return &dsu.Version{
+		Name: "v2",
+		New:  func() dsu.App { return &srv{version: "v2"} },
+		Rules: dsl.MustParse(`
+rule "v1-to-v2-reply" {
+    match write(fd, s, n) {
+        emit write(fd, concat("v2:", s), n + 3);
+    }
+}
+`),
+		ReverseRules: dsl.MustParse(`
+rule "v2-to-v1-reply" {
+    match write(fd, s, n) where prefix(s, "v2:") {
+        emit write(fd, sub(s, 3, len(s)), n - 3);
+    }
+}
+`),
+		Xform: func(old dsu.App) (dsu.App, error) {
+			if xformErr != nil {
+				return nil, xformErr
+			}
+			o := old.(*srv)
+			n := &srv{version: "v2", listenFD: o.listenFD, connFD: o.connFD, count: o.count}
+			if mutate != nil {
+				mutate(n)
+			}
+			return n, nil
+		},
+	}
+}
+
+// harness wires a controller plus a gated client and runs the scenario.
+type harness struct {
+	s       *sim.Scheduler
+	k       *vos.Kernel
+	c       *Controller
+	replies []string
+	done    bool
+}
+
+func newHarness(cfg Config) *harness {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	return &harness{s: s, k: k, c: New(k, cfg)}
+}
+
+// client sends pings, invoking hooks[i] before message i (nil = none).
+func (h *harness) client(n int, hooks map[int]func(tk *sim.Task)) {
+	h.s.Go("client", func(tk *sim.Task) {
+		fd := int(h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		for i := 0; i < n; i++ {
+			if hook := hooks[i]; hook != nil {
+				hook(tk)
+			}
+			h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			h.replies = append(h.replies, string(r.Data))
+			// Give background machinery (follower catch-up, promotion)
+			// a window between requests.
+			tk.Sleep(10 * time.Millisecond)
+		}
+		h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+		h.done = true
+	})
+}
+
+func (h *harness) run(t *testing.T) {
+	t.Helper()
+	// Tear everything down at the end so Run terminates: kill remaining
+	// runtime tasks once the client is done.
+	h.s.Go("teardown", func(tk *sim.Task) {
+		for {
+			tk.Sleep(50 * time.Millisecond)
+			if h.clientDone() {
+				break
+			}
+		}
+		if rt := h.c.FollowerRuntime(); rt != nil {
+			rt.KillAll()
+		}
+		h.c.Monitor().DropFollower()
+		if rt := h.c.LeaderRuntime(); rt != nil {
+			rt.KillAll()
+		}
+	})
+	if err := h.s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func (h *harness) clientDone() bool { return h.done }
+
+func TestFullUpdateLifecycle(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(8, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { // t1: update after 2 replies
+			if !h.c.Update(v2) {
+				t.Error("Update rejected")
+			}
+		},
+		5: func(tk *sim.Task) { // t4: promote after 5 replies
+			if !h.c.Promote() {
+				t.Error("Promote rejected")
+			}
+		},
+		7: func(tk *sim.Task) { // t6: commit
+			if h.c.Stage() != StageUpdatedLeader {
+				t.Errorf("stage before commit = %v", h.c.Stage())
+			}
+			if !h.c.Commit() {
+				t.Error("Commit rejected")
+			}
+		},
+	})
+	h.run(t)
+	// Replies 1-6 come from v1 (old semantics kept while it leads, even
+	// after the update was applied on the follower; the promotion takes
+	// effect at the leader's quiescence after serving request 6); the
+	// rest from v2, with the counter preserved.
+	want := []string{"1", "2", "3", "4", "5", "6", "v2:7", "v2:8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v\nwant %v", h.replies, want)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("final stage = %v", h.c.Stage())
+	}
+	if len(h.c.Monitor().Divergences()) != 0 {
+		t.Fatalf("divergences: %v", h.c.Monitor().Divergences())
+	}
+	// The timeline walked all four stages.
+	stages := map[Stage]bool{}
+	for _, ev := range h.c.Timeline() {
+		stages[ev.Stage] = true
+	}
+	for _, st := range []Stage{StageSingleLeader, StageOutdatedLeader, StagePromoting, StageUpdatedLeader} {
+		if !stages[st] {
+			t.Errorf("timeline missing stage %v: %+v", st, h.c.Timeline())
+		}
+	}
+}
+
+func TestSemanticDivergenceRollsBack(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	// The updated version formats replies wrong after count 4: during
+	// the outdated-leader stage its writes mismatch and it is rolled
+	// back; clients keep seeing v1 output throughout.
+	v2 := upgrade(nil, func(n *srv) { n.misformatAfter = 4 })
+	h.client(8, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	if len(h.c.Monitor().Divergences()) == 0 {
+		t.Fatal("no divergence recorded")
+	}
+	if h.c.LeaderRuntime().App().Version() != "v1" {
+		t.Fatalf("leader version = %s", h.c.LeaderRuntime().App().Version())
+	}
+	found := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "rolled back") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline has no rollback: %+v", h.c.Timeline())
+	}
+}
+
+func TestStateXformErrorRollsBack(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(fmt.Errorf("freed memory still in use"), nil)
+	handled := false
+	h.c.OnCrash = func(info sim.CrashInfo, ok bool) { handled = handled || ok }
+	h.client(6, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	if !handled {
+		t.Fatal("follower crash was not handled")
+	}
+	want := []string{"1", "2", "3", "4", "5", "6"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v (clients noticed the failed update)", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+}
+
+func TestNewCodeCrashRollsBack(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	// The new version crashes when the counter reaches 5 (the HMGET-
+	// style bug): under MVEDSUA the follower dies, execution reverts to
+	// the old version, and clients proceed without incident (§6.2).
+	v2 := upgrade(nil, func(n *srv) { n.crashOn = 5 })
+	h.client(8, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader || h.c.LeaderRuntime().App().Version() != "v1" {
+		t.Fatalf("stage=%v version=%s", h.c.Stage(), h.c.LeaderRuntime().App().Version())
+	}
+}
+
+func TestOldVersionCrashPromotesFollower(t *testing.T) {
+	h := newHarness(Config{})
+	// The old version has a bug at count 5; the new version fixes it.
+	h.c.Start(&srv{version: "v1", crashOn: 5})
+	v2 := upgrade(nil, func(n *srv) { n.crashOn = 0 })
+	h.client(8, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	// Replies 1-4 from v1; v1 crashes serving #5; the promoted v2
+	// finishes that request and the rest. No state or requests lost.
+	want := []string{"1", "2", "3", "4", "v2:5", "v2:6", "v2:7", "v2:8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v\nwant %v", h.replies, want)
+	}
+	if h.c.LeaderRuntime().App().Version() != "v2" {
+		t.Fatalf("leader version = %s", h.c.LeaderRuntime().App().Version())
+	}
+}
+
+func TestNewLeaderCrashRevertsToOldVersion(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	// The new version has a latent bug that only fires after promotion
+	// (at count 6); the still-warm old follower takes back over.
+	v2 := upgrade(nil, func(n *srv) { n.crashOn = 6 })
+	h.client(8, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+		3: func(tk *sim.Task) { h.c.Promote() },
+	})
+	h.run(t)
+	// Replies 1-4 come from v1 (promotion lands at the quiescence after
+	// request 4); v2 serves 5 and crashes serving 6; the reverted v1
+	// serves 6, 7, 8. No requests are lost.
+	want := []string{"1", "2", "3", "4", "v2:5", "6", "7", "8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v\nwant %v\ntimeline: %+v", h.replies, want, h.c.Timeline())
+	}
+	if got := h.c.LeaderRuntime().App().Version(); got != "v1" {
+		t.Fatalf("leader version = %s, want reverted v1", got)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	reverted := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "reverting to old version") {
+			reverted = true
+		}
+	}
+	if !reverted {
+		t.Fatalf("timeline missing revert: %+v", h.c.Timeline())
+	}
+}
+
+func TestTimingErrorRetriesUntilInstalled(t *testing.T) {
+	h := newHarness(Config{
+		RetryInterval: 100 * time.Millisecond,
+		DSU:           dsu.Config{QuiesceTimeout: 50 * time.Millisecond},
+	})
+	// The worker holds "the lock" (parks off any update point) for the
+	// first 380ms; attempts during that window time out and are retried
+	// every 100ms; once the lock is released the retry installs
+	// (§6.2: update always installed eventually, max 8 retries).
+	var lock sim.WaitQueue
+	h.c.Start(&srv{version: "v1", blockedWorker: &lock})
+	h.s.Go("lock-releaser", func(tk *sim.Task) {
+		tk.Sleep(380 * time.Millisecond)
+		for i := 0; i < 400; i++ {
+			lock.WakeAll(h.s)
+			tk.Sleep(5 * time.Millisecond)
+			if h.done {
+				return
+			}
+		}
+	})
+	v2 := upgrade(nil, nil)
+	h.client(60, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	if h.c.Stage() != StageOutdatedLeader {
+		t.Fatalf("stage = %v; update never installed (retries=%d)\ntimeline: %+v",
+			h.c.Stage(), h.c.Retries(), h.c.Timeline())
+	}
+	if h.c.Retries() == 0 {
+		t.Fatal("update installed without any retries; timing error not exercised")
+	}
+	if h.c.Retries() > 8 {
+		t.Fatalf("retries = %d, want <= 8", h.c.Retries())
+	}
+}
+
+func TestUpdateRejectedOutsideSingleLeader(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(6, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+		3: func(tk *sim.Task) {
+			if h.c.Update(upgrade(nil, nil)) {
+				t.Error("second Update accepted during outdated-leader stage")
+			}
+		},
+		4: func(tk *sim.Task) { h.c.Promote() },
+	})
+	h.run(t)
+	if h.c.Stage() != StageUpdatedLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+}
+
+func TestManualRollbackDuringOutdatedLeader(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(6, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+		3: func(tk *sim.Task) {
+			if !h.c.Rollback("operator changed their mind") {
+				t.Error("Rollback rejected")
+			}
+		},
+	})
+	h.run(t)
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	want := []string{"1", "2", "3", "4", "5", "6"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+}
+
+func TestCommitRequiresUpdatedLeader(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	if h.c.Commit() {
+		t.Fatal("Commit accepted in single-leader stage")
+	}
+	if h.c.Rollback("x") {
+		t.Fatal("Rollback accepted in single-leader stage")
+	}
+	h.client(1, nil)
+	h.run(t)
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageSingleLeader:   "single-leader",
+		StageOutdatedLeader: "outdated-leader",
+		StagePromoting:      "promoting",
+		StageUpdatedLeader:  "updated-leader",
+		Stage(9):            "stage(9)",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}

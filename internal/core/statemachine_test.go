@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// TestRandomizedOperatorSequences drives the controller with random
+// operator actions (update / promote / commit / rollback, some of them
+// invalid for the current stage) under continuous traffic, and checks
+// the stage-machine invariants after every step:
+//
+//   - the stage is always one of the four Figure 2 stages;
+//   - invalid operations are rejected without changing the stage;
+//   - service never stops (every request gets a correct reply);
+//   - the counter is monotonic (no lost or duplicated state).
+func TestRandomizedOperatorSequences(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(strings.Repeat("s", int(seed)), func(t *testing.T) {
+			runRandomized(t, seed)
+		})
+	}
+}
+
+func runRandomized(t *testing.T, seed int64) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	r := rand.New(rand.NewSource(seed))
+
+	h.s.Go("client", func(tk *sim.Task) {
+		defer func() { h.done = true }()
+		c := connectSrv(h, tk)
+		defer closeSrv(h, tk, c)
+		count := 0
+		ping := func() {
+			reply := doSrv(h, tk, c, "ping")
+			count++
+			// The reply's counter component must be exactly count,
+			// whichever version answers.
+			want1 := itoa(count)
+			want2 := "v2:" + itoa(count)
+			if reply != want1 && reply != want2 {
+				t.Errorf("seed %d: reply %q, want %q or %q", seed, reply, want1, want2)
+			}
+			tk.Sleep(10 * time.Millisecond)
+		}
+		for step := 0; step < 30; step++ {
+			before := h.c.Stage()
+			switch r.Intn(5) {
+			case 0:
+				// Pick an update that matches the current leader
+				// version (updating v2 with v1→v2 rules would be an
+				// operator error, which the rules rightly flag).
+				v := upgrade(nil, nil)
+				if h.c.LeaderRuntime().App().Version() == "v2" {
+					v = &dsu.Version{
+						Name: "v2",
+						New:  func() dsu.App { return &srv{version: "v2"} },
+						Xform: func(old dsu.App) (dsu.App, error) {
+							return old.Fork(), nil
+						},
+					}
+				}
+				ok := h.c.Update(v)
+				if ok && before != StageSingleLeader {
+					t.Errorf("seed %d: Update accepted in %v", seed, before)
+				}
+				if !ok && before == StageSingleLeader && h.c.pending == nil {
+					t.Errorf("seed %d: Update rejected in clean single-leader", seed)
+				}
+			case 1:
+				ok := h.c.Promote()
+				if ok && before != StageOutdatedLeader {
+					t.Errorf("seed %d: Promote accepted in %v", seed, before)
+				}
+			case 2:
+				ok := h.c.Commit()
+				if ok && before != StageUpdatedLeader {
+					t.Errorf("seed %d: Commit accepted in %v", seed, before)
+				}
+			case 3:
+				ok := h.c.Rollback("random")
+				if ok && before != StageOutdatedLeader && before != StagePromoting {
+					t.Errorf("seed %d: Rollback accepted in %v", seed, before)
+				}
+			default:
+				// just traffic
+			}
+			ping()
+			ping()
+			st := h.c.Stage()
+			if st != StageSingleLeader && st != StageOutdatedLeader &&
+				st != StagePromoting && st != StageUpdatedLeader {
+				t.Fatalf("seed %d: illegal stage %v", seed, st)
+			}
+		}
+		if n := len(h.c.Monitor().Divergences()); n != 0 {
+			t.Errorf("seed %d: %d divergences under correct rules", seed, n)
+		}
+	})
+	h.run(t)
+}
+
+// Small helpers working against the srv test app's wire format.
+
+func connectSrv(h *harness, tk *sim.Task) int {
+	r := h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}})
+	return int(r.Ret)
+}
+
+func closeSrv(h *harness, tk *sim.Task, fd int) {
+	h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+}
+
+func doSrv(h *harness, tk *sim.Task, fd int, msg string) string {
+	h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte(msg)})
+	r := h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+	return string(r.Data)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,350 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a DSL runtime value: string, int64, or bool.
+type Value struct {
+	kind valueKind
+	s    string
+	i    int64
+	b    bool
+}
+
+type valueKind int
+
+const (
+	valString valueKind = iota
+	valInt
+	valBool
+)
+
+// Str makes a string value.
+func Str(s string) Value { return Value{kind: valString, s: s} }
+
+// Int makes an integer value.
+func Int(i int64) Value { return Value{kind: valInt, i: i} }
+
+// Bool makes a boolean value.
+func Bool(b bool) Value { return Value{kind: valBool, b: b} }
+
+// IsString reports whether the value is a string.
+func (v Value) IsString() bool { return v.kind == valString }
+
+// IsInt reports whether the value is an integer.
+func (v Value) IsInt() bool { return v.kind == valInt }
+
+// IsBool reports whether the value is a boolean.
+func (v Value) IsBool() bool { return v.kind == valBool }
+
+// AsString returns the string payload (zero if not a string).
+func (v Value) AsString() string { return v.s }
+
+// AsInt returns the integer payload (zero if not an int).
+func (v Value) AsInt() int64 { return v.i }
+
+// AsBool returns the boolean payload (false if not a bool).
+func (v Value) AsBool() bool { return v.b }
+
+// String formats the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case valString:
+		return fmt.Sprintf("%q", v.s)
+	case valInt:
+		return fmt.Sprintf("%d", v.i)
+	default:
+		return fmt.Sprintf("%t", v.b)
+	}
+}
+
+// EvalError reports a runtime type or argument failure during rule
+// evaluation. The engine treats an EvalError as "rule does not match".
+type EvalError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *EvalError) Error() string { return "dsl eval: " + e.Msg }
+
+func evalErrf(format string, args ...interface{}) error {
+	return &EvalError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Env binds pattern variables to values.
+type Env map[string]Value
+
+// Eval evaluates an expression under the environment.
+func Eval(e Expr, env Env) (Value, error) {
+	switch v := e.(type) {
+	case *StringLit:
+		return Str(v.Value), nil
+	case *IntLit:
+		return Int(v.Value), nil
+	case *VarRef:
+		val, ok := env[v.Name]
+		if !ok {
+			return Value{}, evalErrf("unbound variable %q", v.Name)
+		}
+		return val, nil
+	case *NotOp:
+		x, err := Eval(v.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !x.IsBool() {
+			return Value{}, evalErrf("! applied to non-bool %s", x)
+		}
+		return Bool(!x.AsBool()), nil
+	case *BinOp:
+		return evalBinOp(v, env)
+	case *CallFn:
+		return evalCall(v, env)
+	default:
+		return Value{}, evalErrf("unknown expression %T", e)
+	}
+}
+
+func evalBinOp(v *BinOp, env Env) (Value, error) {
+	// Short-circuit logical operators.
+	if v.Op == "&&" || v.Op == "||" {
+		l, err := Eval(v.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsBool() {
+			return Value{}, evalErrf("%s on non-bool %s", v.Op, l)
+		}
+		if v.Op == "&&" && !l.AsBool() {
+			return Bool(false), nil
+		}
+		if v.Op == "||" && l.AsBool() {
+			return Bool(true), nil
+		}
+		r, err := Eval(v.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if !r.IsBool() {
+			return Value{}, evalErrf("%s on non-bool %s", v.Op, r)
+		}
+		return r, nil
+	}
+	l, err := Eval(v.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := Eval(v.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch v.Op {
+	case "==", "!=":
+		var eq bool
+		switch {
+		case l.IsString() && r.IsString():
+			eq = l.AsString() == r.AsString()
+		case l.IsInt() && r.IsInt():
+			eq = l.AsInt() == r.AsInt()
+		case l.IsBool() && r.IsBool():
+			eq = l.AsBool() == r.AsBool()
+		default:
+			return Value{}, evalErrf("cannot compare %s and %s", l, r)
+		}
+		if v.Op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	case "+":
+		switch {
+		case l.IsInt() && r.IsInt():
+			return Int(l.AsInt() + r.AsInt()), nil
+		case l.IsString() && r.IsString():
+			return Str(l.AsString() + r.AsString()), nil
+		default:
+			return Value{}, evalErrf("cannot add %s and %s", l, r)
+		}
+	case "-":
+		if l.IsInt() && r.IsInt() {
+			return Int(l.AsInt() - r.AsInt()), nil
+		}
+		return Value{}, evalErrf("cannot subtract %s and %s", l, r)
+	case "<", "<=", ">", ">=":
+		if !l.IsInt() || !r.IsInt() {
+			return Value{}, evalErrf("cannot order %s and %s", l, r)
+		}
+		a, b := l.AsInt(), r.AsInt()
+		switch v.Op {
+		case "<":
+			return Bool(a < b), nil
+		case "<=":
+			return Bool(a <= b), nil
+		case ">":
+			return Bool(a > b), nil
+		default:
+			return Bool(a >= b), nil
+		}
+	default:
+		return Value{}, evalErrf("unknown operator %q", v.Op)
+	}
+}
+
+// builtin implements one DSL function.
+type builtin struct {
+	arity int // -1 means variadic (>= 1)
+	fn    func(args []Value) (Value, error)
+}
+
+// builtins is the DSL's function library. Text-processing helpers mirror
+// the paper's examples: parse-like accessors (cmd, arg, typ) plus general
+// string surgery.
+var builtins = map[string]builtin{
+	"prefix": {2, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "prefix"); err != nil {
+			return Value{}, err
+		}
+		return Bool(strings.HasPrefix(a[0].AsString(), a[1].AsString())), nil
+	}},
+	"suffix": {2, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "suffix"); err != nil {
+			return Value{}, err
+		}
+		return Bool(strings.HasSuffix(a[0].AsString(), a[1].AsString())), nil
+	}},
+	"contains": {2, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "contains"); err != nil {
+			return Value{}, err
+		}
+		return Bool(strings.Contains(a[0].AsString(), a[1].AsString())), nil
+	}},
+	// cmd returns the first whitespace-delimited token with trailing
+	// CR/LF stripped: cmd("PUT k v\r\n") == "PUT".
+	"cmd": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "cmd"); err != nil {
+			return Value{}, err
+		}
+		fields := strings.Fields(strings.TrimRight(a[0].AsString(), "\r\n"))
+		if len(fields) == 0 {
+			return Str(""), nil
+		}
+		return Str(fields[0]), nil
+	}},
+	// arg returns the i-th (1-based) token after the command:
+	// arg("PUT k v", 1) == "k".
+	"arg": {2, func(a []Value) (Value, error) {
+		if !a[0].IsString() || !a[1].IsInt() {
+			return Value{}, evalErrf("arg wants (string, int)")
+		}
+		fields := strings.Fields(strings.TrimRight(a[0].AsString(), "\r\n"))
+		i := int(a[1].AsInt())
+		if i < 1 || i >= len(fields) {
+			return Str(""), nil
+		}
+		return Str(fields[i]), nil
+	}},
+	// typ extracts the paper's "-type" suffix from a command token:
+	// typ("PUT-number") == "number", typ("PUT") == "".
+	"typ": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "typ"); err != nil {
+			return Value{}, err
+		}
+		tok := a[0].AsString()
+		if i := strings.IndexByte(tok, '-'); i >= 0 {
+			return Str(tok[i+1:]), nil
+		}
+		return Str(""), nil
+	}},
+	// base strips a "-type" suffix: base("PUT-number") == "PUT".
+	"base": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "base"); err != nil {
+			return Value{}, err
+		}
+		tok := a[0].AsString()
+		if i := strings.IndexByte(tok, '-'); i >= 0 {
+			return Str(tok[:i]), nil
+		}
+		return Str(tok), nil
+	}},
+	"replace": {3, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "replace"); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.Replace(a[0].AsString(), a[1].AsString(), a[2].AsString(), 1)), nil
+	}},
+	"concat": {-1, func(a []Value) (Value, error) {
+		var b strings.Builder
+		for _, v := range a {
+			if !v.IsString() {
+				return Value{}, evalErrf("concat wants strings, got %s", v)
+			}
+			b.WriteString(v.AsString())
+		}
+		return Str(b.String()), nil
+	}},
+	"len": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "len"); err != nil {
+			return Value{}, err
+		}
+		return Int(int64(len(a[0].AsString()))), nil
+	}},
+	"sub": {3, func(a []Value) (Value, error) {
+		if !a[0].IsString() || !a[1].IsInt() || !a[2].IsInt() {
+			return Value{}, evalErrf("sub wants (string, int, int)")
+		}
+		s := a[0].AsString()
+		i, j := int(a[1].AsInt()), int(a[2].AsInt())
+		if i < 0 || j > len(s) || i > j {
+			return Value{}, evalErrf("sub bounds [%d:%d] out of range for %d bytes", i, j, len(s))
+		}
+		return Str(s[i:j]), nil
+	}},
+	"upper": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "upper"); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToUpper(a[0].AsString())), nil
+	}},
+	"lower": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "lower"); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.ToLower(a[0].AsString())), nil
+	}},
+	"trim": {1, func(a []Value) (Value, error) {
+		if err := wantStrings(a, "trim"); err != nil {
+			return Value{}, err
+		}
+		return Str(strings.TrimSpace(a[0].AsString())), nil
+	}},
+}
+
+func wantStrings(a []Value, fn string) error {
+	for _, v := range a {
+		if !v.IsString() {
+			return evalErrf("%s wants string arguments, got %s", fn, v)
+		}
+	}
+	return nil
+}
+
+func evalCall(v *CallFn, env Env) (Value, error) {
+	b, ok := builtins[v.Name]
+	if !ok {
+		return Value{}, evalErrf("unknown function %q", v.Name)
+	}
+	if b.arity >= 0 && len(v.Args) != b.arity {
+		return Value{}, evalErrf("%s wants %d args, got %d", v.Name, b.arity, len(v.Args))
+	}
+	if b.arity < 0 && len(v.Args) == 0 {
+		return Value{}, evalErrf("%s wants at least one arg", v.Name)
+	}
+	args := make([]Value, len(v.Args))
+	for i, a := range v.Args {
+		val, err := Eval(a, env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = val
+	}
+	return b.fn(args)
+}

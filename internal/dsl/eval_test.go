@@ -1,0 +1,196 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalStr parses and evaluates a standalone expression by wrapping it in a
+// throwaway rule's where clause.
+func evalExpr(t *testing.T, expr string, env Env) (Value, error) {
+	t.Helper()
+	toks, err := lexAll(expr)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return Eval(e, env)
+}
+
+func mustEval(t *testing.T, expr string, env Env) Value {
+	t.Helper()
+	v, err := evalExpr(t, expr, env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return v
+}
+
+func TestEvalLiterals(t *testing.T) {
+	if v := mustEval(t, `"abc"`, nil); !v.IsString() || v.AsString() != "abc" {
+		t.Errorf("string literal = %v", v)
+	}
+	if v := mustEval(t, `42`, nil); !v.IsInt() || v.AsInt() != 42 {
+		t.Errorf("int literal = %v", v)
+	}
+	if v := mustEval(t, `-7`, nil); v.AsInt() != -7 {
+		t.Errorf("negative literal = %v", v)
+	}
+}
+
+func TestEvalVariables(t *testing.T) {
+	env := Env{"x": Int(3), "s": Str("hi")}
+	if v := mustEval(t, "x + 1", env); v.AsInt() != 4 {
+		t.Errorf("x+1 = %v", v)
+	}
+	if v := mustEval(t, `s == "hi"`, env); !v.AsBool() {
+		t.Errorf("s==hi = %v", v)
+	}
+	if _, err := evalExpr(t, "missing", Env{}); err == nil {
+		t.Error("unbound variable did not error")
+	}
+}
+
+func TestEvalArithmeticAndComparison(t *testing.T) {
+	cases := map[string]Value{
+		"1 + 2":      Int(3),
+		"5 - 2":      Int(3),
+		"1 + 2 - 4":  Int(-1),
+		"2 < 3":      Bool(true),
+		"3 <= 3":     Bool(true),
+		"4 > 5":      Bool(false),
+		"5 >= 5":     Bool(true),
+		"1 == 1":     Bool(true),
+		"1 != 1":     Bool(false),
+		`"a" + "b"`:  Str("ab"),
+		`"a" == "a"`: Bool(true),
+		`"a" != "b"`: Bool(true),
+	}
+	for expr, want := range cases {
+		got := mustEval(t, expr, nil)
+		if got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestEvalLogicShortCircuit(t *testing.T) {
+	// The right operand references an unbound variable; short-circuit
+	// evaluation must not touch it.
+	if v := mustEval(t, `1 == 2 && boom == 1`, nil); v.AsBool() {
+		t.Error("false && ... should be false")
+	}
+	if v := mustEval(t, `1 == 1 || boom == 1`, nil); !v.AsBool() {
+		t.Error("true || ... should be true")
+	}
+	if _, err := evalExpr(t, `1 == 1 && boom == 1`, nil); err == nil {
+		t.Error("true && unbound should error")
+	}
+}
+
+func TestEvalNot(t *testing.T) {
+	if v := mustEval(t, `!(1 == 2)`, nil); !v.AsBool() {
+		t.Error("!(false) should be true")
+	}
+	if _, err := evalExpr(t, `!5`, nil); err == nil {
+		t.Error("!int should error")
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	bad := []string{
+		`"a" + 1`,
+		`"a" - "b"`,
+		`"a" < "b"`,
+		`1 == "a"`,
+		`1 && 2`,
+	}
+	for _, expr := range bad {
+		if _, err := evalExpr(t, expr, nil); err == nil {
+			t.Errorf("%s evaluated without error", expr)
+		}
+	}
+}
+
+func TestBuiltinStringFunctions(t *testing.T) {
+	cases := map[string]Value{
+		`prefix("hello", "he")`:                   Bool(true),
+		`prefix("hello", "lo")`:                   Bool(false),
+		`suffix("hello", "lo")`:                   Bool(true),
+		`contains("hello", "ell")`:                Bool(true),
+		`cmd("PUT balance 100\r\n")`:              Str("PUT"),
+		`cmd("")`:                                 Str(""),
+		`arg("PUT balance 100", 1)`:               Str("balance"),
+		`arg("PUT balance 100", 2)`:               Str("100"),
+		`arg("PUT balance 100", 9)`:               Str(""),
+		`typ("PUT-number")`:                       Str("number"),
+		`typ("PUT")`:                              Str(""),
+		`base("PUT-number")`:                      Str("PUT"),
+		`base("PUT")`:                             Str("PUT"),
+		`replace("PUT k v", "PUT", "PUT-string")`: Str("PUT-string k v"),
+		`concat("a", "b", "c")`:                   Str("abc"),
+		`len("abcd")`:                             Int(4),
+		`sub("abcdef", 1, 4)`:                     Str("bcd"),
+		`upper("abc")`:                            Str("ABC"),
+		`lower("ABC")`:                            Str("abc"),
+		`trim("  x  ")`:                           Str("x"),
+	}
+	for expr, want := range cases {
+		got := mustEval(t, expr, nil)
+		if got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestBuiltinArityAndTypeErrors(t *testing.T) {
+	bad := []string{
+		`prefix("a")`,
+		`prefix(1, "a")`,
+		`len(5)`,
+		`sub("abc", 2, 1)`,
+		`sub("abc", 0, 99)`,
+		`arg("a b", "x")`,
+		`concat()`,
+		`concat("a", 1)`,
+	}
+	for _, expr := range bad {
+		if _, err := evalExpr(t, expr, nil); err == nil {
+			t.Errorf("%s evaluated without error", expr)
+		}
+	}
+}
+
+func TestEvalErrorMessage(t *testing.T) {
+	_, err := evalExpr(t, `len(5)`, nil)
+	if err == nil || !strings.Contains(err.Error(), "dsl eval") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Str("x").String() != `"x"` || Int(3).String() != "3" || Bool(true).String() != "true" {
+		t.Fatal("Value.String mismatch")
+	}
+}
+
+// The paper's Rule 2 expression logic: rewrite "PUT k v" to
+// "PUT-string k v" and extend the length by 7.
+func TestPaperRule2Expressions(t *testing.T) {
+	env := Env{"s": Str("PUT balance 100\r\n"), "n": Int(17)}
+	s2 := mustEval(t, `replace(s, "PUT", "PUT-string")`, env)
+	if s2.AsString() != "PUT-string balance 100\r\n" {
+		t.Fatalf("rewritten = %q", s2.AsString())
+	}
+	n2 := mustEval(t, "n + 7", env)
+	if n2.AsInt() != 24 {
+		t.Fatalf("n+7 = %d", n2.AsInt())
+	}
+	if int(n2.AsInt()) != len(s2.AsString()) {
+		t.Fatal("length bookkeeping does not line up")
+	}
+}

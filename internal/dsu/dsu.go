@@ -1,0 +1,566 @@
+// Package dsu implements the dynamic software updating framework — the
+// reproduction's counterpart of Kitsune (Hayden et al., OOPSLA'12), with
+// the MVEDSUA extensions of §4 of the paper:
+//
+//   - Programs are whole versions. An update loads the next version,
+//     transforms the running state with a programmer-supplied state
+//     transformer, and restarts the program's main loop in the new
+//     version ("control migration"), with Updating() reporting true so
+//     initialization is skipped.
+//
+//   - Updates are only taken at programmer-chosen update points, and only
+//     once every live thread has quiesced at one. A quiescence timeout
+//     turns a wrongly-timed update into a failed (retryable) update
+//     rather than a hang — the paper's timing-error class.
+//
+//   - Before taking an update the runtime consults a TakeUpdate hook.
+//     MVEDSUA's controller uses it to fork execution: the leader aborts
+//     the update (running an abort callback, e.g. to reset LibEvent
+//     state) while the update proceeds on the forked follower.
+//
+//   - Optionally, epoll_wait acts as an implicit update point — the
+//     extension §5.3 adds for LibEvent-structured programs like
+//     Memcached, where the event loop owns the threads.
+package dsu
+
+import (
+	"fmt"
+	"time"
+
+	"mvedsua/internal/dsl"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// App is one version of an updatable application. Implementations hold
+// all program state (including fd numbers), so Fork can stand in for
+// process fork and Xform for state transformation.
+type App interface {
+	// Version returns the version name of this instance.
+	Version() string
+	// Main runs the application. It is called once at cold start with
+	// env.Updating() == false, and re-entered after every dynamic update
+	// with env.Updating() == true, in which case it must skip
+	// initialization that already happened (control migration).
+	Main(env *Env)
+	// Fork returns a deep copy of the application's state. It is the
+	// process-fork substitute used when MVEDSUA splits execution.
+	Fork() App
+}
+
+// Version describes an installable update: how to build the new program
+// and how to migrate state into it.
+type Version struct {
+	// Name of the version being installed (e.g. "2.0.1").
+	Name string
+	// New creates a fresh instance for cold starts.
+	New func() App
+	// Xform transforms the old instance's state into a new-version
+	// instance (the paper's xform arrow, Figure 3). A panicking or
+	// erroring Xform models the state-transformation-error class.
+	Xform func(old App) (App, error)
+	// XformCost estimates the virtual time the transformation needs,
+	// typically proportional to state size (Figure 7's experiment).
+	XformCost func(old App) time.Duration
+	// Rules are the forward rewrite rules for the outdated-leader stage
+	// (old version leads, this version follows); ReverseRules serve the
+	// updated-leader stage after promotion.
+	Rules        *dsl.RuleSet
+	ReverseRules *dsl.RuleSet
+}
+
+// Decision is what an update point tells the calling thread to do.
+type Decision int
+
+// Decisions.
+const (
+	Continue Decision = iota // keep running this version
+	Exit                     // unwind: the process updated (or is shutting down)
+)
+
+// TakeAction is the verdict of the TakeUpdate consultation hook.
+type TakeAction int
+
+// TakeUpdate verdicts.
+const (
+	TakeInPlace TakeAction = iota // apply the update in this process (plain Kitsune)
+	TakeAbort                     // abort here; MVEDSUA forked the update elsewhere
+)
+
+// Outcome classifies how an update attempt ended.
+type Outcome int
+
+// Update outcomes.
+const (
+	OutcomeApplied  Outcome = iota // state transformed, new version running here
+	OutcomeForked                  // aborted here after forking to a follower
+	OutcomeTimedOut                // quiescence timeout (timing error)
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeApplied:
+		return "applied"
+	case OutcomeForked:
+		return "forked"
+	case OutcomeTimedOut:
+		return "timed-out"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// UpdateRecord is the audit trail of one update attempt.
+type UpdateRecord struct {
+	Version     string
+	Outcome     Outcome
+	RequestedAt time.Duration
+	DecidedAt   time.Duration
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Name identifies the runtime in task names and logs.
+	Name string
+	// Dispatcher executes the application's syscalls (the vOS kernel
+	// directly, or an MVE proc).
+	Dispatcher sysabi.Dispatcher
+	// UpdateCheckCost is charged at every update point (Kitsune's
+	// steady-state overhead, 0-3% in the paper's Table 2).
+	UpdateCheckCost time.Duration
+	// QuiesceTimeout bounds how long threads wait for full quiescence
+	// before declaring the attempt a timing error. Default 1s.
+	QuiesceTimeout time.Duration
+	// EpollWaitIsUpdatePoint treats every epoll_wait as an update point,
+	// bounding each kernel wait so pending updates are noticed (§5.3).
+	EpollWaitIsUpdatePoint bool
+	// EpollUpdateInterval is the bounded wait used when
+	// EpollWaitIsUpdatePoint is set. Default 10ms.
+	EpollUpdateInterval time.Duration
+	// TakeUpdate, if non-nil, is consulted once all threads have
+	// quiesced. MVEDSUA's controller forks the follower here and returns
+	// TakeAbort on the leader. Nil means plain Kitsune: TakeInPlace.
+	TakeUpdate func(t *sim.Task, rt *Runtime, v *Version) TakeAction
+	// OnAbort runs on this process after an aborted update, before
+	// threads resume — the hook §5.3's Memcached uses to reset LibEvent
+	// round-robin state so leader and follower stay in sync.
+	OnAbort func(app App)
+	// ParallelXform makes the state transformation cost elapse as
+	// parallel time (the process runs on its own core, e.g. a follower)
+	// instead of stalling service. Plain in-place updates leave it false
+	// so the transformation pause is visible, as with Kitsune.
+	ParallelXform bool
+	// OnOutcome, if non-nil, observes every update attempt's record as
+	// it is written. MVEDSUA's controller uses it to retry timing
+	// errors.
+	OnOutcome func(UpdateRecord)
+}
+
+// Runtime is the per-process DSU runtime: it owns the app instance, its
+// threads, and the update protocol.
+type Runtime struct {
+	cfg   Config
+	sched *sim.Scheduler
+	app   App
+
+	// threads and tasks are keyed by a unique per-thread uid: logical
+	// TIDs restart at 0 after each update (so they match across
+	// versions), while old-generation threads may still be unwinding.
+	threads  map[int]*Env
+	tasks    map[int]*sim.Task
+	nextUID  int
+	nextTID  int
+	gen      int // update generation, increments on each applied update
+	exiting  bool
+	quiesceQ sim.WaitQueue
+
+	attempt *attempt
+	records []UpdateRecord
+}
+
+// attempt tracks one in-flight update request, or a quiescence barrier
+// (barrier != nil): a function to run once every thread has quiesced,
+// after which all threads continue in the same version. MVEDSUA uses
+// barriers to swap leader and follower safely — the §5.3 observation
+// that epoll_wait update points work "for establishing quiescence when
+// updating originally, and for swapping leader and follower".
+type attempt struct {
+	v           *Version
+	barrier     func(t *sim.Task)
+	requestedAt time.Duration
+	quiesced    int
+	decided     bool
+	exit        bool // verdict for waiting threads
+}
+
+// NewRuntime returns a runtime for the given initial application.
+func NewRuntime(sched *sim.Scheduler, app App, cfg Config) *Runtime {
+	if cfg.QuiesceTimeout == 0 {
+		cfg.QuiesceTimeout = time.Second
+	}
+	if cfg.EpollUpdateInterval == 0 {
+		cfg.EpollUpdateInterval = 10 * time.Millisecond
+	}
+	return &Runtime{
+		cfg:     cfg,
+		sched:   sched,
+		app:     app,
+		threads: make(map[int]*Env),
+		tasks:   make(map[int]*sim.Task),
+	}
+}
+
+// App returns the currently-running application instance.
+func (rt *Runtime) App() App { return rt.app }
+
+// Scheduler returns the runtime's scheduler.
+func (rt *Runtime) Scheduler() *sim.Scheduler { return rt.sched }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Records returns the update attempt records, oldest first.
+func (rt *Runtime) Records() []UpdateRecord { return rt.records }
+
+// Generation returns how many updates have been applied in this process.
+func (rt *Runtime) Generation() int { return rt.gen }
+
+// LiveThreads returns the number of registered application threads.
+func (rt *Runtime) LiveThreads() int { return len(rt.threads) }
+
+// Start launches the application's main thread (cold start) and returns
+// its task.
+func (rt *Runtime) Start() *sim.Task {
+	return rt.launch(rt.app, false)
+}
+
+// StartUpdatedFrom boots this runtime as a freshly-forked follower that
+// immediately applies the pending update: it transforms old's state
+// (charging the transformation cost) and enters the new version's main
+// loop with Updating() == true. Returns the main thread's task.
+//
+// This is the follower half of MVEDSUA's fork-based update (§3.2, t1-t2).
+func (rt *Runtime) StartUpdatedFrom(old App, v *Version) *sim.Task {
+	name := fmt.Sprintf("%s/main@%s", rt.cfg.Name, v.Name)
+	t := rt.sched.Go(name, func(task *sim.Task) {
+		rt.chargeXform(task, old, v)
+		newApp, err := v.Xform(old)
+		if err != nil {
+			panic(fmt.Sprintf("dsu: state transformation to %s failed: %v", v.Name, err))
+		}
+		rt.app = newApp
+		rt.gen++
+		rt.record(UpdateRecord{
+			Version: v.Name, Outcome: OutcomeApplied,
+			RequestedAt: rt.sched.Now(), DecidedAt: rt.sched.Now(),
+		})
+		rt.runMain(task, newApp, true)
+	})
+	return t
+}
+
+func (rt *Runtime) chargeXform(task *sim.Task, old App, v *Version) {
+	if v.XformCost == nil {
+		return
+	}
+	d := v.XformCost(old)
+	if d <= 0 {
+		return
+	}
+	if rt.cfg.ParallelXform {
+		task.Sleep(d) // own core: elapses without stalling the leader
+	} else {
+		task.Advance(d) // in-place: service pauses (the Kitsune pause)
+	}
+}
+
+// launch spawns the main thread for app.
+func (rt *Runtime) launch(app App, updating bool) *sim.Task {
+	name := fmt.Sprintf("%s/main@%s", rt.cfg.Name, app.Version())
+	return rt.sched.Go(name, func(task *sim.Task) {
+		rt.runMain(task, app, updating)
+	})
+}
+
+// runMain registers the calling task as logical thread 0 and runs Main.
+func (rt *Runtime) runMain(task *sim.Task, app App, updating bool) {
+	rt.nextTID = 0
+	env := rt.register(task, updating)
+	defer rt.deregister(env)
+	app.Main(env)
+}
+
+func (rt *Runtime) register(task *sim.Task, updating bool) *Env {
+	tid := rt.nextTID
+	rt.nextTID++
+	rt.nextUID++
+	env := &Env{rt: rt, task: task, tid: tid, uid: rt.nextUID, updating: updating, gen: rt.gen}
+	rt.threads[env.uid] = env
+	rt.tasks[env.uid] = task
+	return env
+}
+
+func (rt *Runtime) deregister(env *Env) {
+	delete(rt.threads, env.uid)
+	delete(rt.tasks, env.uid)
+	// A thread exiting during quiescence may complete it.
+	if att := rt.attempt; att != nil && !att.decided && att.quiesced >= len(rt.threads) {
+		rt.quiesceQ.WakeAll(rt.sched)
+	}
+}
+
+// KillAll kills every live application thread (follower teardown on
+// rollback). Safe to call from any task.
+func (rt *Runtime) KillAll() {
+	for _, t := range rt.tasks {
+		t.Kill()
+	}
+}
+
+// Tasks returns the live thread tasks, keyed by logical thread id.
+func (rt *Runtime) Tasks() map[int]*sim.Task {
+	out := make(map[int]*sim.Task, len(rt.tasks))
+	for tid, t := range rt.tasks {
+		out[tid] = t
+	}
+	return out
+}
+
+// SetUpdateHooks rebinds the runtime's update-time behaviour. MVEDSUA's
+// controller calls this when a follower runtime is promoted to leader:
+// its next update must fork (TakeUpdate) rather than apply in place, its
+// transformations stall service again (in-place), and its outcomes feed
+// the retry logic.
+func (rt *Runtime) SetUpdateHooks(
+	take func(t *sim.Task, rt *Runtime, v *Version) TakeAction,
+	onOutcome func(UpdateRecord),
+	parallelXform bool,
+) {
+	rt.cfg.TakeUpdate = take
+	rt.cfg.OnOutcome = onOutcome
+	rt.cfg.ParallelXform = parallelXform
+}
+
+// record appends an update record and notifies the OnOutcome observer.
+func (rt *Runtime) record(r UpdateRecord) {
+	rt.records = append(rt.records, r)
+	if rt.cfg.OnOutcome != nil {
+		rt.cfg.OnOutcome(r)
+	}
+}
+
+// RequestUpdate makes v the pending update; threads will take it at their
+// next update points. Returns false if an update is already pending.
+func (rt *Runtime) RequestUpdate(v *Version) bool {
+	if rt.attempt != nil {
+		return false
+	}
+	rt.attempt = &attempt{v: v, requestedAt: rt.sched.Now()}
+	return true
+}
+
+// UpdatePending reports whether an update is waiting for quiescence.
+func (rt *Runtime) UpdatePending() bool { return rt.attempt != nil }
+
+// RequestBarrier schedules fn to run once all threads have quiesced at
+// update points; the threads then continue in the current version.
+// Unlike updates, barriers do not time out: they wait for quiescence as
+// long as it takes. Returns false if an update or barrier is pending.
+func (rt *Runtime) RequestBarrier(fn func(t *sim.Task)) bool {
+	if rt.attempt != nil {
+		return false
+	}
+	rt.attempt = &attempt{barrier: fn, requestedAt: rt.sched.Now()}
+	return true
+}
+
+// Env is one application thread's handle on the DSU runtime. It carries
+// the thread's logical id and dispatches its syscalls.
+type Env struct {
+	rt       *Runtime
+	task     *sim.Task
+	tid      int // logical thread id, stable across versions
+	uid      int // unique registration key within the runtime
+	updating bool
+	exiting  bool
+	gen      int
+	quiesced bool
+}
+
+// TID returns the thread's logical id (stable across versions).
+func (e *Env) TID() int { return e.tid }
+
+// Task returns the thread's sim task.
+func (e *Env) Task() *sim.Task { return e.task }
+
+// Runtime returns the owning runtime.
+func (e *Env) Runtime() *Runtime { return e.rt }
+
+// Updating reports whether Main was re-entered by a dynamic update and
+// should skip initialization (Kitsune's control migration flag).
+func (e *Env) Updating() bool { return e.updating }
+
+// Exiting reports whether the thread must unwind out of Main (an update
+// was applied, or the runtime is shutting down).
+func (e *Env) Exiting() bool { return e.exiting || e.rt.exiting }
+
+// Go spawns a sibling application thread with the next logical id.
+func (e *Env) Go(name string, fn func(*Env)) *sim.Task {
+	rt := e.rt
+	tid := rt.nextTID
+	rt.nextTID++
+	rt.nextUID++
+	uid := rt.nextUID
+	taskName := fmt.Sprintf("%s/%s@%s", rt.cfg.Name, name, rt.app.Version())
+	t := rt.sched.Go(taskName, func(task *sim.Task) {
+		env := &Env{rt: rt, task: task, tid: tid, uid: uid, updating: e.updating, gen: rt.gen}
+		rt.threads[uid] = env
+		rt.tasks[uid] = task
+		defer rt.deregister(env)
+		fn(env)
+	})
+	return t
+}
+
+// Sys issues a virtual system call on behalf of this thread. If the
+// runtime treats epoll_wait as an update point, waits are bounded and the
+// pending update is checked between rounds.
+func (e *Env) Sys(c sysabi.Call) sysabi.Result {
+	c.TID = e.tid
+	if c.Op == sysabi.OpEpollWait && e.rt.cfg.EpollWaitIsUpdatePoint {
+		for {
+			if e.rt.attempt != nil {
+				if e.UpdatePoint("epoll_wait") == Exit {
+					return sysabi.Result{Err: sysabi.EKILLED}
+				}
+			}
+			bounded := c
+			bounded.Args[1] = int64(e.rt.cfg.EpollUpdateInterval)
+			r := e.rt.cfg.Dispatcher.Invoke(e.task, bounded)
+			if !r.OK() || r.Ret != 0 {
+				return r
+			}
+			// Timed out empty: loop to re-check for a pending update.
+		}
+	}
+	return e.rt.cfg.Dispatcher.Invoke(e.task, c)
+}
+
+// UpdatePoint marks a place where this thread is quiescent and an update
+// may be applied (Kitsune's update points). It returns Exit when the
+// thread must unwind out of Main: either the process was updated in place
+// (a new main thread is already running the new version) or the runtime
+// is shutting down.
+func (e *Env) UpdatePoint(name string) Decision {
+	rt := e.rt
+	if rt.cfg.UpdateCheckCost > 0 {
+		e.task.Advance(rt.cfg.UpdateCheckCost)
+	}
+	if e.Exiting() {
+		e.exiting = true
+		return Exit
+	}
+	att := rt.attempt
+	if att == nil {
+		return Continue
+	}
+	// Quiesce.
+	e.quiesced = true
+	att.quiesced++
+	deadline := rt.sched.Now() + rt.cfg.QuiesceTimeout
+	for {
+		if att.decided {
+			break
+		}
+		if att.quiesced >= len(rt.threads) {
+			rt.decide(e, att)
+			break
+		}
+		if att.barrier != nil {
+			// Barriers wait for quiescence indefinitely.
+			e.task.Block(&rt.quiesceQ)
+			continue
+		}
+		remaining := deadline - rt.sched.Now()
+		if remaining <= 0 {
+			// Timing error: not all threads quiesced in time. Fail the
+			// attempt; the operator may retry (§6.2).
+			att.decided = true
+			att.exit = false
+			rt.record(UpdateRecord{
+				Version: att.v.Name, Outcome: OutcomeTimedOut,
+				RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
+			})
+			rt.attempt = nil
+			rt.quiesceQ.WakeAll(rt.sched)
+			break
+		}
+		e.task.BlockTimeout(&rt.quiesceQ, remaining)
+	}
+	e.quiesced = false
+	att.quiesced--
+	if att.exit {
+		e.exiting = true
+		return Exit
+	}
+	return Continue
+}
+
+// decide runs once per attempt, in the context of the last thread to
+// quiesce: it consults the TakeUpdate hook and applies or aborts.
+func (rt *Runtime) decide(e *Env, att *attempt) {
+	if att.barrier != nil {
+		att.barrier(e.task)
+		att.decided = true
+		att.exit = false
+		rt.attempt = nil
+		rt.quiesceQ.WakeAll(rt.sched)
+		return
+	}
+	action := TakeInPlace
+	if rt.cfg.TakeUpdate != nil {
+		action = rt.cfg.TakeUpdate(e.task, rt, att.v)
+	}
+	switch action {
+	case TakeAbort:
+		att.decided = true
+		att.exit = false
+		rt.record(UpdateRecord{
+			Version: att.v.Name, Outcome: OutcomeForked,
+			RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
+		})
+		rt.attempt = nil
+		if rt.cfg.OnAbort != nil {
+			rt.cfg.OnAbort(rt.app)
+		}
+	default:
+		old := rt.app
+		rt.chargeXform(e.task, old, att.v)
+		newApp, err := att.v.Xform(old)
+		if err != nil {
+			// A broken state transformation crashes the process, as it
+			// would with Kitsune (§6.2 "error in the state transformation").
+			panic(fmt.Sprintf("dsu: state transformation to %s failed: %v", att.v.Name, err))
+		}
+		rt.app = newApp
+		rt.gen++
+		att.decided = true
+		att.exit = true
+		rt.record(UpdateRecord{
+			Version: att.v.Name, Outcome: OutcomeApplied,
+			RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
+		})
+		rt.attempt = nil
+		// Control migration: relaunch main in the new version. The old
+		// threads unwind as they observe att.exit.
+		rt.launch(newApp, true)
+	}
+	rt.quiesceQ.WakeAll(rt.sched)
+}
+
+// Shutdown asks all threads to unwind at their next update points.
+func (rt *Runtime) Shutdown() {
+	rt.exiting = true
+	rt.quiesceQ.WakeAll(rt.sched)
+}

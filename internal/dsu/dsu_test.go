@@ -1,0 +1,495 @@
+package dsu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// counterApp is a minimal updatable server: it accepts one connection and
+// echoes an incrementing counter formatted per version. v1 prints "n",
+// v2 prints "v2:n".
+type counterApp struct {
+	version  string
+	listenFD int
+	connFD   int
+	count    int
+	// spawnWorkers, if > 0, makes Main spawn that many auxiliary threads
+	// that just reach update points in a loop (multi-thread quiescence).
+	spawnWorkers int
+	workerDelay  time.Duration // simulated work between update points
+	started      bool
+}
+
+func (a *counterApp) Version() string { return a.version }
+
+func (a *counterApp) Fork() App {
+	cp := *a
+	return &cp
+}
+
+func (a *counterApp) Main(env *Env) {
+	if !env.Updating() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{9000, 0}})
+		a.listenFD = int(r.Ret)
+		r = env.Sys(sysabi.Call{Op: sysabi.OpAccept, FD: a.listenFD})
+		a.connFD = int(r.Ret)
+	}
+	for i := 0; i < a.spawnWorkers; i++ {
+		i := i
+		env.Go(fmt.Sprintf("worker%d", i), func(we *Env) {
+			for !we.Exiting() {
+				if a.workerDelay > 0 {
+					we.Task().Advance(a.workerDelay)
+				}
+				if we.UpdatePoint("worker") == Exit {
+					return
+				}
+				we.Task().Yield()
+			}
+		})
+	}
+	a.spawnWorkers = 0 // workers persist across this generation only
+	for !env.Exiting() {
+		r := env.Sys(sysabi.Call{Op: sysabi.OpRead, FD: a.connFD, Args: [2]int64{64, 0}})
+		if !r.OK() || r.Ret == 0 {
+			return
+		}
+		a.count++
+		var reply string
+		if a.version == "v1" {
+			reply = fmt.Sprintf("%d", a.count)
+		} else {
+			reply = fmt.Sprintf("%s:%d", a.version, a.count)
+		}
+		env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: a.connFD, Buf: []byte(reply)})
+		if env.UpdatePoint("main_loop") == Exit {
+			return
+		}
+	}
+}
+
+// v2From builds the v1 -> v2 update descriptor.
+func v2From(xformErr error, cost time.Duration) *Version {
+	return &Version{
+		Name: "v2",
+		New:  func() App { return &counterApp{version: "v2"} },
+		Xform: func(old App) (App, error) {
+			if xformErr != nil {
+				return nil, xformErr
+			}
+			o := old.(*counterApp)
+			return &counterApp{
+				version:  "v2",
+				listenFD: o.listenFD,
+				connFD:   o.connFD,
+				count:    o.count,
+			}, nil
+		},
+		XformCost: func(old App) time.Duration { return cost },
+	}
+}
+
+// driveClient sends n pings and collects replies.
+func driveClient(k *vos.Kernel, n int, replies *[]string, pause time.Duration) func(*sim.Task) {
+	return func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		for i := 0; i < n; i++ {
+			if pause > 0 {
+				tk.Sleep(pause)
+			}
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			*replies = append(*replies, string(r.Data))
+		}
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	}
+}
+
+func TestColdStartServesRequests(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", driveClient(k, 3, &replies, 0))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if strings.Join(replies, ",") != "1,2,3" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if rt.Generation() != 0 {
+		t.Fatalf("generation = %d", rt.Generation())
+	}
+}
+
+func TestInPlaceUpdatePreservesState(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		ping()
+		rt.RequestUpdate(v2From(nil, 0))
+		ping() // triggers the update point after serving; next reply is v2
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The counter survives the update: 1, 2, 3 then v2:4.
+	want := []string{"1", "2", "3", "v2:4"}
+	if strings.Join(replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v, want %v", replies, want)
+	}
+	if rt.Generation() != 1 || rt.App().Version() != "v2" {
+		t.Fatalf("gen=%d version=%s", rt.Generation(), rt.App().Version())
+	}
+	recs := rt.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeApplied || recs[0].Version != "v2" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestUpdatePauseReflectsXformCost(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var before, after time.Duration
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+		}
+		ping()
+		rt.RequestUpdate(v2From(nil, 5*time.Second))
+		before = tk.Now()
+		ping() // serving this request triggers the 5s in-place transformation
+		ping() // answered by v2
+		after = tk.Now()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after-before < 5*time.Second {
+		t.Fatalf("update pause = %v, want >= 5s (in-place xform stalls service)", after-before)
+	}
+}
+
+func TestParallelXformDoesNotStallClock(t *testing.T) {
+	// With ParallelXform (follower mode) the transformation sleeps
+	// instead of advancing the clock, so a concurrent ticker sees time
+	// pass normally rather than jumping.
+	s := sim.New()
+	k := vos.NewKernel(s)
+	old := &counterApp{version: "v1", listenFD: 3, connFD: 4}
+	rt := NewRuntime(s, old, Config{Name: "f", Dispatcher: k, ParallelXform: true})
+	done := false
+	v := v2From(nil, time.Second)
+	v.Xform = func(o App) (App, error) {
+		done = true
+		oo := o.(*counterApp)
+		return &counterApp{version: "v2", count: oo.count, started: true}, nil
+	}
+	// Replace Main: v2 app with started=true exits immediately on a
+	// closed fd read; simpler: override by making connFD invalid.
+	rt.StartUpdatedFrom(old, v)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Fatal("xform never ran")
+	}
+	if s.Now() < time.Second {
+		t.Fatalf("Now = %v, want >= 1s (xform slept)", s.Now())
+	}
+	if rt.App().Version() != "v2" || rt.Generation() != 1 {
+		t.Fatalf("app=%s gen=%d", rt.App().Version(), rt.Generation())
+	}
+}
+
+func TestXformErrorCrashesProcess(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	var crash *sim.CrashInfo
+	s.OnCrash = func(c sim.CrashInfo) { crash = &c }
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+		r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+		replies = append(replies, string(r.Data))
+		rt.RequestUpdate(v2From(fmt.Errorf("uninitialized field t"), 0))
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if crash == nil {
+		t.Fatal("broken state transformation did not crash the process")
+	}
+	if !strings.Contains(fmt.Sprint(crash.Value), "state transformation") {
+		t.Fatalf("crash = %v", crash.Value)
+	}
+}
+
+func TestTakeAbortRunsOnAbortAndContinuesOldVersion(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	aborted := 0
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{
+		Name:       "ctr",
+		Dispatcher: k,
+		TakeUpdate: func(tk *sim.Task, rt *Runtime, v *Version) TakeAction {
+			return TakeAbort
+		},
+		OnAbort: func(app App) { aborted++ },
+	})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		rt.RequestUpdate(v2From(nil, 0))
+		ping()
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// All replies stay v1-format: the update was aborted here.
+	if strings.Join(replies, ",") != "1,2,3" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if aborted != 1 {
+		t.Fatalf("OnAbort ran %d times", aborted)
+	}
+	recs := rt.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeForked {
+		t.Fatalf("records = %+v", recs)
+	}
+	if rt.App().Version() != "v1" || rt.Generation() != 0 {
+		t.Fatalf("version=%s gen=%d", rt.App().Version(), rt.Generation())
+	}
+}
+
+func TestMultiThreadQuiescence(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	app := &counterApp{version: "v1", spawnWorkers: 2}
+	rt := NewRuntime(s, app, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		rt.RequestUpdate(v2From(nil, 0))
+		ping()
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if replies[len(replies)-1] != "v2:3" {
+		t.Fatalf("replies = %v, want final v2:3", replies)
+	}
+}
+
+func TestQuiescenceTimeoutIsTimingError(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	// One worker never reaches an update point: it blocks forever on a
+	// lock-like queue, reproducing the paper's timing-error shape.
+	app := &counterApp{version: "v1"}
+	rt := NewRuntime(s, app, Config{
+		Name:           "ctr",
+		Dispatcher:     k,
+		QuiesceTimeout: 100 * time.Millisecond,
+	})
+	rt.Start()
+	var stuck sim.WaitQueue
+	var stuckTask *sim.Task
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		// Spawn the stuck thread through the runtime: it counts for
+		// quiescence but never quiesces.
+		for _, env := range rt.threads {
+			if env.tid == 0 {
+				stuckTask = env.Go("stuck", func(we *Env) {
+					we.Task().Block(&stuck)
+				})
+				break
+			}
+		}
+		tk.Yield()
+		rt.RequestUpdate(v2From(nil, 0))
+		ping() // main quiesces; stuck thread never arrives; timeout fires
+		ping()
+		if stuckTask != nil {
+			stuckTask.Kill()
+		}
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Update failed; replies stay v1.
+	if strings.Join(replies, ",") != "1,2,3" {
+		t.Fatalf("replies = %v", replies)
+	}
+	recs := rt.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeTimedOut {
+		t.Fatalf("records = %+v", recs)
+	}
+	// The runtime can retry afterwards.
+	if rt.UpdatePending() {
+		t.Fatal("attempt not cleared after timeout")
+	}
+}
+
+func TestUpdateCheckCostCharged(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{
+		Name: "ctr", Dispatcher: k, UpdateCheckCost: time.Microsecond,
+	})
+	rt.Start()
+	var replies []string
+	s.Go("client", driveClient(k, 4, &replies, 0))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 4 update points crossed, 1µs each.
+	if s.Now() != 4*time.Microsecond {
+		t.Fatalf("Now = %v, want 4µs", s.Now())
+	}
+}
+
+func TestRequestUpdateRejectsConcurrent(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	if !rt.RequestUpdate(v2From(nil, 0)) {
+		t.Fatal("first RequestUpdate failed")
+	}
+	if rt.RequestUpdate(v2From(nil, 0)) {
+		t.Fatal("second RequestUpdate should fail while pending")
+	}
+	_ = s
+}
+
+func TestShutdownUnwindsThreads(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+		r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+		replies = append(replies, string(r.Data))
+		rt.Shutdown()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+		// Server answers this last request then unwinds at the update point.
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rt.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads = %d after shutdown", rt.LiveThreads())
+	}
+}
+
+func TestStartUpdatedFromRecordsOutcome(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	old := &counterApp{version: "v1", count: 7}
+	rt := NewRuntime(s, old, Config{Name: "f", Dispatcher: k, ParallelXform: true})
+	rt.StartUpdatedFrom(old, v2From(nil, 0))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs := rt.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeApplied {
+		t.Fatalf("records = %+v", recs)
+	}
+	if got := rt.App().(*counterApp).count; got != 7 {
+		t.Fatalf("state lost: count = %d", got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeApplied.String() != "applied" || OutcomeForked.String() != "forked" ||
+		OutcomeTimedOut.String() != "timed-out" || Outcome(9).String() != "outcome(9)" {
+		t.Fatal("Outcome.String mismatch")
+	}
+}
+
+func TestEnvTIDsSequential(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	app := &counterApp{version: "v1", spawnWorkers: 3}
+	rt := NewRuntime(s, app, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", driveClient(k, 1, &replies, 0))
+	s.Go("checker", func(tk *sim.Task) {
+		tk.Yield()
+		tk.Yield()
+		tids := map[int]bool{}
+		for _, env := range rt.threads {
+			tids[env.TID()] = true
+		}
+		for want := 0; want < 4; want++ {
+			if !tids[want] {
+				t.Errorf("missing tid %d in %v", want, tids)
+			}
+		}
+		rt.KillAll()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package integration exercises cross-cutting scenarios that span the
+// whole stack — controller, monitor, DSU runtimes, rules, apps, and the
+// virtual OS — beyond what the per-package suites cover.
+package integration
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/core"
+	"mvedsua/internal/sim"
+)
+
+// pump keeps traffic flowing for the given number of rounds.
+func pump(tk *sim.Task, c *apptest.Client, rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.Do(tk, "INCR pump")
+		tk.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailedUpdateThenFixedUpdate: a broken update rolls back; the fixed
+// respin of the same update then succeeds and commits — the paper's
+// "deterministic failures can be retried once the update is fixed".
+func TestFailedUpdateThenFixedUpdate(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		c.Do(tk, "SET k v")
+
+		// Attempt 1: broken state transformation.
+		bad := kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{BreakXform: true})
+		if !w.C.Update(bad) {
+			t.Error("first update rejected")
+		}
+		pump(tk, c, 4)
+		if w.C.Stage() != core.StageSingleLeader {
+			t.Fatalf("stage after broken update = %v", w.C.Stage())
+		}
+
+		// Attempt 2: the fixed update.
+		good := kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond})
+		if !w.C.Update(good) {
+			t.Error("fixed update rejected")
+		}
+		pump(tk, c, 4)
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage after fixed update = %v; %v", w.C.Stage(), w.C.Monitor().Divergences())
+		}
+		w.C.Promote()
+		pump(tk, c, 4)
+		w.C.Commit()
+		if got := w.C.LeaderRuntime().App().Version(); got != "2.0.1" {
+			t.Fatalf("version = %s", got)
+		}
+		if got := c.Do(tk, "GET k"); got != "$1\r\nv\r\n" {
+			t.Fatalf("GET k = %q", got)
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestConnectionChurnDuringValidation: clients connect, work, and
+// disconnect while the follower validates; accepts and closes replay
+// correctly on the follower.
+func TestConnectionChurnDuringValidation(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("driver", func(tk *sim.Task) {
+		defer w.Finish()
+		main := apptest.Connect(w.K, tk, kvstore.Port)
+		defer main.Close(tk)
+		main.Do(tk, "SET stable yes")
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+		pump(tk, main, 3)
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage = %v", w.C.Stage())
+		}
+		// Churn: short-lived sessions during the duo.
+		for i := 0; i < 6; i++ {
+			c := apptest.Connect(w.K, tk, kvstore.Port)
+			if got := c.Do(tk, fmt.Sprintf("SET churn%d x", i)); got != "+OK\r\n" {
+				t.Errorf("churn set = %q", got)
+			}
+			c.Close(tk)
+			tk.Sleep(10 * time.Millisecond)
+		}
+		pump(tk, main, 2)
+		if len(w.C.Monitor().Divergences()) != 0 {
+			t.Fatalf("divergences under churn: %v", w.C.Monitor().Divergences())
+		}
+		w.C.Promote()
+		pump(tk, main, 3)
+		w.C.Commit()
+		// All churn keys survived on the promoted version.
+		for i := 0; i < 6; i++ {
+			if got := main.Do(tk, fmt.Sprintf("GET churn%d", i)); got != "$1\r\nx\r\n" {
+				t.Errorf("GET churn%d = %q", i, got)
+			}
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestTinyBufferBackpressure: with a 4-entry ring the leader repeatedly
+// blocks on the full buffer, yet validation stays correct and the update
+// completes.
+func TestTinyBufferBackpressure(t *testing.T) {
+	w := apptest.NewWorld(core.Config{BufferEntries: 4})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+		pump(tk, c, 10)
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage = %v; %v", w.C.Stage(), w.C.Monitor().Divergences())
+		}
+		if w.C.Monitor().Buffer().HighWater < 4 {
+			t.Errorf("high water = %d, tiny buffer never filled", w.C.Monitor().Buffer().HighWater)
+		}
+		w.C.Promote()
+		pump(tk, c, 6)
+		if w.C.Stage() != core.StageUpdatedLeader {
+			t.Fatalf("stage after promote = %v; %v", w.C.Stage(), w.C.Monitor().Divergences())
+		}
+		w.C.Commit()
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRollbackDuringPromoting: a divergence that fires after the
+// promotion was requested (but before the hand-off) still rolls back
+// cleanly to the old single leader.
+func TestRollbackDuringPromoting(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		// ForgetTable: the follower's store is empty, so the first GET
+		// after the fork diverges.
+		v := kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{ForgetTable: true, PerEntryXform: time.Microsecond})
+		c.Do(tk, "SET precious data")
+		w.C.Update(v)
+		for i := 0; i < 3; i++ {
+			c.Do(tk, "PING")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage = %v", w.C.Stage())
+		}
+		// Request promotion, then immediately trigger the latent
+		// divergence with a GET; the barrier and the divergence race.
+		w.C.Promote()
+		if got := c.Do(tk, "GET precious"); got != "$4\r\ndata\r\n" {
+			t.Errorf("GET precious = %q", got)
+		}
+		tk.Sleep(100 * time.Millisecond)
+		// Whichever won the race, the system must settle in a sane
+		// state with the data intact.
+		st := w.C.Stage()
+		if st != core.StageSingleLeader && st != core.StageUpdatedLeader {
+			t.Fatalf("unsettled stage = %v", st)
+		}
+		if got := c.Do(tk, "GET precious"); !strings.Contains(got, "data") && st == core.StageSingleLeader {
+			t.Errorf("data lost after rollback: %q", got)
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestDeterministicLifecycle: the same scenario run twice produces
+// byte-identical reply streams and stage timelines.
+func TestDeterministicLifecycle(t *testing.T) {
+	run := func() (replies []string, timeline []string) {
+		w := apptest.NewWorld(core.Config{})
+		w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+		w.S.Go("client", func(tk *sim.Task) {
+			defer w.Finish()
+			c := apptest.Connect(w.K, tk, kvstore.Port)
+			defer c.Close(tk)
+			replies = append(replies, c.Do(tk, "SET a 1"))
+			w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+			for i := 0; i < 4; i++ {
+				replies = append(replies, c.Do(tk, "INCR n"))
+				tk.Sleep(10 * time.Millisecond)
+			}
+			w.C.Promote()
+			for i := 0; i < 4; i++ {
+				replies = append(replies, c.Do(tk, "INCR n"))
+				tk.Sleep(10 * time.Millisecond)
+			}
+			w.C.Commit()
+		})
+		if err := w.Run(time.Hour); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for _, ev := range w.C.Timeline() {
+			timeline = append(timeline, fmt.Sprintf("%v/%v/%s", ev.At, ev.Stage, ev.Note))
+		}
+		return
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if strings.Join(r1, "|") != strings.Join(r2, "|") {
+		t.Fatalf("replies differ:\n%v\n%v", r1, r2)
+	}
+	if strings.Join(t1, "|") != strings.Join(t2, "|") {
+		t.Fatalf("timelines differ:\n%v\n%v", t1, t2)
+	}
+}
+
+// TestPipelinedTrafficAcrossUpdate: commands batched into single writes
+// (multiple per read on the server) survive the whole lifecycle.
+func TestPipelinedTrafficAcrossUpdate(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+		for i := 0; i < 6; i++ {
+			c.Send(tk, fmt.Sprintf("SET p%d a\r\nINCR q\r\nGET p%d\r\n", i, i))
+			got := c.RecvUntil(tk, "$1\r\na\r\n")
+			if !strings.Contains(got, "+OK\r\n") || !strings.Contains(got, fmt.Sprintf(":%d\r\n", i+1)) {
+				t.Errorf("pipelined batch %d = %q", i, got)
+			}
+			tk.Sleep(10 * time.Millisecond)
+		}
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage = %v; %v", w.C.Stage(), w.C.Monitor().Divergences())
+		}
+		w.C.Promote()
+		for i := 0; i < 3; i++ {
+			c.Do(tk, "PING")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		w.C.Commit()
+		if got := c.Do(tk, "INCR q"); got != ":7\r\n" {
+			t.Errorf("final INCR = %q", got)
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestBackToBackUpdatesWithoutPromotion: rolling an update back and
+// installing a different one reuses the monitor cleanly.
+func TestBackToBackUpdatesWithRollbacks(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		for round := 0; round < 3; round++ {
+			v := kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond})
+			if !w.C.Update(v) {
+				t.Fatalf("round %d: update rejected", round)
+			}
+			pump(tk, c, 3)
+			if w.C.Stage() != core.StageOutdatedLeader {
+				t.Fatalf("round %d: stage = %v", round, w.C.Stage())
+			}
+			if !w.C.Rollback("operator aborted round") {
+				t.Fatalf("round %d: rollback rejected", round)
+			}
+			pump(tk, c, 2)
+			if w.C.Stage() != core.StageSingleLeader {
+				t.Fatalf("round %d: stage after rollback = %v", round, w.C.Stage())
+			}
+		}
+		// The final attempt goes all the way.
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+		pump(tk, c, 3)
+		w.C.Promote()
+		pump(tk, c, 3)
+		w.C.Commit()
+		if got := w.C.LeaderRuntime().App().Version(); got != "2.0.1" {
+			t.Fatalf("version = %s", got)
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestStateRelationHeldAcrossLifecycle drives writes through every stage
+// and verifies nothing is lost or duplicated at the end — the Figure 3
+// commuting-square property observed end-to-end.
+func TestStateRelationHeldAcrossLifecycle(t *testing.T) {
+	w := apptest.NewWorld(core.Config{})
+	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
+	w.S.Go("client", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		expect := map[string]string{}
+		set := func(stage string, i int) {
+			k := fmt.Sprintf("%s-%d", stage, i)
+			c.Do(tk, "SET "+k+" "+stage)
+			expect[k] = stage
+			tk.Sleep(5 * time.Millisecond)
+		}
+		for i := 0; i < 3; i++ {
+			set("pre", i)
+		}
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{PerEntryXform: time.Microsecond}))
+		for i := 0; i < 5; i++ {
+			set("during", i)
+		}
+		w.C.Promote()
+		for i := 0; i < 5; i++ {
+			set("post", i)
+		}
+		w.C.Commit()
+		for i := 0; i < 3; i++ {
+			set("final", i)
+		}
+		for k, v := range expect {
+			want := fmt.Sprintf("$%d\r\n%s\r\n", len(v), v)
+			if got := c.Do(tk, "GET "+k); got != want {
+				t.Errorf("GET %s = %q, want %q", k, got, want)
+			}
+		}
+		if got := c.Do(tk, "DBSIZE"); got != fmt.Sprintf(":%d\r\n", len(expect)) {
+			t.Errorf("DBSIZE = %q, want %d", got, len(expect))
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,704 @@
+// Package mve implements the multi-version execution monitor — the
+// reproduction's counterpart of Varan (Hosek & Cadar, ASPLOS'15) as
+// extended by MVEDSUA (§3.1, §4 of the paper).
+//
+// One Monitor supervises up to two processes (version instances):
+//
+//   - In single-leader mode the sole process runs against the virtual OS
+//     with lightweight interception: every syscall is observed (and
+//     charged an interception cost) and kernel state relevant to a later
+//     fork is tracked, but nothing is recorded.
+//
+//   - In leader/follower mode the leader executes syscalls natively and
+//     records (call, result) events into the ring buffer; the follower
+//     validates its own syscall stream against those events — after the
+//     divergence-rewrite rules have been applied — and receives the
+//     leader's recorded results instead of touching the OS.
+//
+// Promotion (§3.2, t4-t5) is initiated with RequestPromote: the leader
+// appends a promotion control event and immediately becomes a follower;
+// when the updated follower drains the buffer and reaches that event, it
+// takes over as leader. Any mismatch between a follower syscall and the
+// (rewritten) recorded stream raises a Divergence, which MVEDSUA's
+// controller turns into a rollback or a promotion.
+package mve
+
+import (
+	"fmt"
+	"time"
+
+	"mvedsua/internal/dsl"
+	"mvedsua/internal/ringbuf"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// Role is a process's current MVE role.
+type Role int
+
+// Roles.
+const (
+	RoleSingleLeader Role = iota // alone, lightweight interception
+	RoleLeader                   // executing natively, recording
+	RoleFollower                 // replaying and validating
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleSingleLeader:
+		return "single-leader"
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Costs models the virtual-time overheads of the monitor's machinery.
+// Zero values make monitoring free, which functional tests use; the
+// benchmark harness installs constants calibrated against the paper's
+// Table 2 (see internal/bench).
+type Costs struct {
+	// Intercept is charged to every syscall in single-leader mode
+	// (Varan's binary-rewriting interception and kernel-state tracking).
+	Intercept time.Duration
+	// Record is charged to every leader syscall in leader/follower mode
+	// (interception + ring-buffer registration + cross-core signalling).
+	Record time.Duration
+	// Replay is the follower's per-event processing time. It is modelled
+	// as parallel work: the follower sleeps in virtual time rather than
+	// charging the shared clock, so catch-up overlaps leader service —
+	// the effect behind the paper's Figure 7.
+	Replay time.Duration
+	// LockstepSync, when Lockstep is enabled, is charged to the leader
+	// for every syscall while it waits for the follower to consume the
+	// event (the MUC/Mx execution model the paper compares against).
+	LockstepSync time.Duration
+}
+
+// Divergence describes a follower syscall that did not match the
+// (rewritten) leader stream.
+type Divergence struct {
+	Proc     string       // name of the diverging follower
+	Seq      uint64       // sequence number of the expected event
+	Expected sysabi.Event // what the leader's (rewritten) stream promised
+	Got      sysabi.Call  // what the follower actually issued
+	Reason   string
+}
+
+// String formats the divergence for logs.
+func (d Divergence) String() string {
+	return fmt.Sprintf("divergence in %s at #%d: expected %s, got %s (%s)",
+		d.Proc, d.Seq, d.Expected.Call, d.Got, d.Reason)
+}
+
+// Stats aggregates monitor activity counters.
+type Stats struct {
+	// Intercepted counts single-leader-mode syscalls.
+	Intercepted int64
+	// Recorded counts events the leader registered on the ring buffer.
+	Recorded int64
+	// Replayed counts expected events validated by followers.
+	Replayed int64
+	// Rewritten counts rule firings across all followers.
+	Rewritten int64
+	// Promotions counts completed leader/follower swaps.
+	Promotions int64
+}
+
+// Monitor coordinates the two version processes.
+type Monitor struct {
+	sched  *sim.Scheduler
+	kernel *vos.Kernel
+	costs  Costs
+
+	buf      *ringbuf.Buffer
+	leader   *Proc
+	follower *Proc
+
+	// Lockstep forces the leader to wait for the follower after every
+	// recorded event, reproducing the MUC/Mx baseline's behaviour.
+	Lockstep bool
+
+	// OnDivergence is invoked (from the follower's task) when the
+	// follower diverges. The follower then parks until killed; the
+	// handler decides whether to roll back or promote.
+	OnDivergence func(Divergence)
+
+	// OnPromoted is invoked when a promotion completes: the old follower
+	// has drained the buffer and taken over as leader (§3.2 t5).
+	OnPromoted func(newLeader *Proc)
+
+	promoteRequested bool
+	divergences      []Divergence
+	events           []string // coarse monitor event log
+
+	// Stats aggregates monitor activity for reporting.
+	Stats Stats
+
+	// promoWait parks a demoted leader between writing the promotion
+	// event (t4) and the new leader taking over (t5): during that window
+	// the buffer still holds events meant for the old follower, and the
+	// demoted process must not steal them.
+	promoWait sim.WaitQueue
+}
+
+// New returns a monitor bound to the scheduler and kernel, with the given
+// ring-buffer capacity for leader/follower phases.
+func New(kernel *vos.Kernel, bufCap int, costs Costs) *Monitor {
+	m := &Monitor{
+		sched:  kernel.Scheduler(),
+		kernel: kernel,
+		costs:  costs,
+		buf:    ringbuf.New(kernel.Scheduler(), bufCap),
+	}
+	return m
+}
+
+// Buffer exposes the ring buffer (read-only use: occupancy metrics).
+func (m *Monitor) Buffer() *ringbuf.Buffer { return m.buf }
+
+// Divergences returns the divergences observed so far.
+func (m *Monitor) Divergences() []Divergence { return m.divergences }
+
+// EventLog returns the coarse monitor event log.
+func (m *Monitor) EventLog() []string { return m.events }
+
+func (m *Monitor) logf(format string, args ...interface{}) {
+	m.events = append(m.events, fmt.Sprintf("[%8.3fs] ", m.sched.Now().Seconds())+fmt.Sprintf(format, args...))
+}
+
+// Proc is one version instance's view of the system: it implements
+// sysabi.Dispatcher and routes syscalls according to its current role.
+type Proc struct {
+	m      *Monitor
+	name   string
+	role   Role
+	engine *dsl.Engine
+
+	// Follower-side per-logical-thread queues. The leader's recorded
+	// events are demultiplexed by TID; each follower thread validates
+	// against (and is fed from) its own stream, the way Varan matches
+	// per-thread event streams in multithreaded programs.
+	//
+	// Cross-thread ordering: follower threads additionally validate in
+	// the leader's *global* event order (each group's first raw
+	// sequence number must equal globalNext before its thread may
+	// proceed). Shared-state operations sit between a thread's
+	// syscalls, so replaying the leader's syscall interleaving also
+	// reproduces its shared-state interleaving — the mechanism that
+	// lets MVE handle multithreaded programs (§3.1, "with some
+	// limitations").
+	rawByTID    map[int][]sysabi.Event // pulled from the buffer, pre-rewrite
+	expByTID    map[int][]*expGroup    // rewritten, awaiting validation
+	tidWait     map[int]*sim.WaitQueue // follower threads awaiting their events
+	pulling     bool                   // one thread pulls from the buffer at a time
+	promoteSeen bool                   // promotion entry seen; drain then switch
+	globalNext  uint64                 // next raw seq to retire (leader order)
+	retired     map[uint64]bool        // raw seqs retired ahead of globalNext
+
+	diverged bool
+	kstate   KernelState
+
+	// Syscalls counts calls dispatched through this proc.
+	Syscalls int
+}
+
+// expGroup is the result of one rule transformation (or an identity
+// pass-through): the expected events plus the raw sequence numbers they
+// consumed, used for global-order retirement.
+type expGroup struct {
+	events []sysabi.Event
+	seqs   []uint64
+	idx    int // next event to validate
+}
+
+func (p *Proc) waitFor(tid int) *sim.WaitQueue {
+	q, ok := p.tidWait[tid]
+	if !ok {
+		q = &sim.WaitQueue{}
+		p.tidWait[tid] = q
+	}
+	return q
+}
+
+func (p *Proc) wakeAllTIDs() {
+	for _, q := range p.tidWait {
+		q.WakeAll(p.m.sched)
+	}
+}
+
+func (p *Proc) queuesEmpty() bool {
+	for _, evs := range p.rawByTID {
+		if len(evs) > 0 {
+			return false
+		}
+	}
+	for _, groups := range p.expByTID {
+		if len(groups) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// KernelState is the kernel-side state Varan tracks during single-leader
+// mode so that a follower can be attached later (§4: logical PIDs,
+// event-poll descriptors, and the fd table).
+type KernelState struct {
+	LogicalPID int64
+	OpenFDs    map[int]bool
+	EpollFDs   map[int]bool
+	Listeners  map[int]int64 // fd -> port
+}
+
+// Clone deep-copies the tracked kernel state (given to a fork).
+func (ks KernelState) Clone() KernelState {
+	out := KernelState{LogicalPID: ks.LogicalPID}
+	out.OpenFDs = make(map[int]bool, len(ks.OpenFDs))
+	for fd := range ks.OpenFDs {
+		out.OpenFDs[fd] = true
+	}
+	out.EpollFDs = make(map[int]bool, len(ks.EpollFDs))
+	for fd := range ks.EpollFDs {
+		out.EpollFDs[fd] = true
+	}
+	out.Listeners = make(map[int]int64, len(ks.Listeners))
+	for fd, port := range ks.Listeners {
+		out.Listeners[fd] = port
+	}
+	return out
+}
+
+func newKernelState() KernelState {
+	return KernelState{
+		OpenFDs:   make(map[int]bool),
+		EpollFDs:  make(map[int]bool),
+		Listeners: make(map[int]int64),
+	}
+}
+
+func newProc(m *Monitor, name string, role Role) *Proc {
+	return &Proc{
+		m:        m,
+		name:     name,
+		role:     role,
+		kstate:   newKernelState(),
+		rawByTID: make(map[int][]sysabi.Event),
+		expByTID: make(map[int][]*expGroup),
+		tidWait:  make(map[int]*sim.WaitQueue),
+		retired:  make(map[uint64]bool),
+	}
+}
+
+// StartSingleLeader registers the initial process in single-leader mode
+// and returns its dispatcher.
+func (m *Monitor) StartSingleLeader(name string) *Proc {
+	p := newProc(m, name, RoleSingleLeader)
+	m.leader = p
+	m.logf("%s started as single leader", name)
+	return p
+}
+
+// AttachFollower switches to leader/follower mode: the current leader
+// starts recording and the returned Proc validates against the rules in
+// rules (which may be nil for identity). The follower inherits a clone of
+// the leader's tracked kernel state, as a forked process would.
+func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
+	if m.leader == nil {
+		panic("mve: AttachFollower without a leader")
+	}
+	if m.follower != nil {
+		panic("mve: follower already attached")
+	}
+	m.buf.Reset()
+	f := newProc(m, name, RoleFollower)
+	f.engine = dsl.NewEngine(rules)
+	f.kstate = m.leader.kstate.Clone()
+	m.follower = f
+	m.leader.role = RoleLeader
+	m.logf("%s attached as follower of %s (buffer %d entries)", name, m.leader.name, m.buf.Cap())
+	return f
+}
+
+// Leader returns the current leader proc.
+func (m *Monitor) Leader() *Proc { return m.leader }
+
+// Follower returns the current follower proc, or nil.
+func (m *Monitor) Follower() *Proc { return m.follower }
+
+// RequestPromote asks the leader to demote itself at its next syscall:
+// it appends a promotion event and becomes the follower; the old follower
+// becomes leader when it consumes that event (§3.2, t4-t5).
+func (m *Monitor) RequestPromote() {
+	if m.follower == nil {
+		return
+	}
+	m.promoteRequested = true
+	m.logf("promotion requested")
+}
+
+// PromoteNow appends the promotion event on behalf of a leader that can
+// no longer do it itself (e.g. it crashed). Must run from a sim task.
+func (m *Monitor) PromoteNow(t *sim.Task) {
+	if m.follower == nil {
+		return
+	}
+	m.promoteRequested = false
+	if m.leader != nil {
+		m.leader.role = RoleFollower
+		// The demoted process starts validating at the new leader's
+		// first recorded event.
+		m.leader.globalNext = m.buf.NextSeq()
+	}
+	m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
+	m.logf("promotion event injected")
+}
+
+// DropFollower terminates leader/follower mode, discarding the follower.
+// The caller is responsible for killing the follower's tasks. The leader
+// reverts to single-leader interception. Used for rollback (§3.2) and for
+// dropping the outdated follower at t6.
+func (m *Monitor) DropFollower() {
+	if m.follower == nil {
+		return
+	}
+	m.logf("follower %s dropped", m.follower.name)
+	m.follower = nil
+	m.promoteRequested = false
+	m.buf.Close()
+	if m.leader != nil {
+		m.leader.role = RoleSingleLeader
+		m.leader.promoteSeen = false
+	}
+	// A leader parked mid-promotion resumes as single leader.
+	m.promoWait.WakeAll(m.sched)
+}
+
+// Role returns p's current role.
+func (p *Proc) Role() Role { return p.role }
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Diverged reports whether this proc has raised a divergence.
+func (p *Proc) Diverged() bool { return p.diverged }
+
+// KernelStateSnapshot returns a copy of the tracked kernel state.
+func (p *Proc) KernelStateSnapshot() KernelState { return p.kstate.Clone() }
+
+// Invoke implements sysabi.Dispatcher, routing by role.
+func (p *Proc) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
+	p.Syscalls++
+	for {
+		switch p.role {
+		case RoleSingleLeader:
+			return p.invokeSingle(t, call)
+		case RoleLeader:
+			if p.m.promoteRequested && p.m.follower != nil {
+				// Demote: register the promotion event and become a
+				// follower before processing this call (§3.2 t4).
+				p.m.promoteRequested = false
+				p.role = RoleFollower
+				p.globalNext = p.m.buf.NextSeq()
+				p.m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
+				p.m.logf("%s demoted itself; awaiting new leader", p.name)
+				continue
+			}
+			return p.invokeLeader(t, call)
+		case RoleFollower:
+			res, again := p.invokeFollower(t, call)
+			if again {
+				continue
+			}
+			return res
+		default:
+			panic("mve: bad role")
+		}
+	}
+}
+
+func (p *Proc) trackKernelState(call sysabi.Call, res sysabi.Result) {
+	if !res.OK() {
+		return
+	}
+	switch call.Op {
+	case sysabi.OpGetPID:
+		p.kstate.LogicalPID = res.Ret
+	case sysabi.OpSocket:
+		p.kstate.OpenFDs[int(res.Ret)] = true
+		p.kstate.Listeners[int(res.Ret)] = call.Args[0]
+	case sysabi.OpAccept, sysabi.OpConnect, sysabi.OpOpen:
+		p.kstate.OpenFDs[int(res.Ret)] = true
+	case sysabi.OpEpollCreate:
+		p.kstate.OpenFDs[int(res.Ret)] = true
+		p.kstate.EpollFDs[int(res.Ret)] = true
+	case sysabi.OpClose:
+		delete(p.kstate.OpenFDs, call.FD)
+		delete(p.kstate.EpollFDs, call.FD)
+		delete(p.kstate.Listeners, call.FD)
+	}
+}
+
+func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
+	p.m.Stats.Intercepted++
+	if p.m.costs.Intercept > 0 {
+		t.Advance(p.m.costs.Intercept)
+	}
+	res := p.m.kernel.Invoke(t, call)
+	p.trackKernelState(call, res)
+	return res
+}
+
+func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
+	if p.m.costs.Record > 0 {
+		t.Advance(p.m.costs.Record)
+	}
+	res := p.m.kernel.Invoke(t, call)
+	p.trackKernelState(call, res)
+	ev := sysabi.Event{Call: call.Clone(), Result: res.Clone()}
+	p.m.buf.PutEvent(t, ev)
+	p.m.Stats.Recorded++
+	if p.m.Lockstep {
+		if p.m.costs.LockstepSync > 0 {
+			t.Advance(p.m.costs.LockstepSync)
+		}
+		// Wait for the follower to drain this event (MUC/Mx model).
+		for !p.m.buf.Empty() && p.m.follower != nil && !p.m.buf.Closed() {
+			t.Yield()
+		}
+	}
+	return res
+}
+
+// invokeFollower validates one follower syscall. The second return value
+// requests re-dispatch after a role change (promotion).
+func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, bool) {
+	if p.diverged {
+		p.parkForever(t)
+	}
+	// A freshly demoted leader waits here until the promotion event has
+	// been consumed and the new leader has taken over.
+	for p.m.leader == p {
+		t.Block(&p.m.promoWait)
+		if p.role != RoleFollower {
+			return sysabi.Result{}, true
+		}
+	}
+	// Model the follower's per-event processing as parallel work.
+	if p.m.costs.Replay > 0 {
+		t.Sleep(p.m.costs.Replay)
+	}
+	tid := call.TID
+	var exp sysabi.Event
+	for {
+		for len(p.expByTID[tid]) == 0 {
+			if roleChanged := p.fillExpected(t, tid); roleChanged || p.role != RoleFollower {
+				return sysabi.Result{}, true
+			}
+		}
+		g := p.expByTID[tid][0]
+		// Honour the leader's global interleaving: a new group may only
+		// start when its first raw event is the oldest unretired one.
+		if g.idx == 0 && len(g.seqs) > 0 && g.seqs[0] != p.globalNext {
+			t.Block(p.waitFor(tid))
+			if p.role != RoleFollower {
+				return sysabi.Result{}, true
+			}
+			continue
+		}
+		exp = g.events[g.idx]
+		g.idx++
+		p.m.Stats.Replayed++
+		if g.idx >= len(g.events) {
+			p.expByTID[tid] = p.expByTID[tid][1:]
+			for _, s := range g.seqs {
+				p.retired[s] = true
+			}
+			for p.retired[p.globalNext] {
+				delete(p.retired, p.globalNext)
+				p.globalNext++
+			}
+			p.wakeAllTIDs()
+		}
+		break
+	}
+	if reason, ok := compare(exp, call); !ok {
+		d := Divergence{Proc: p.name, Seq: exp.Seq, Expected: exp, Got: call.Clone(), Reason: reason}
+		p.diverged = true
+		p.m.divergences = append(p.m.divergences, d)
+		p.m.logf("%s diverged: %s", p.name, d)
+		if p.m.OnDivergence != nil {
+			p.m.OnDivergence(d)
+		}
+		p.parkForever(t)
+	}
+	// If a promotion is pending and this was the last queued event,
+	// complete the switch so the next syscall executes natively.
+	if p.promoteSeen && p.queuesEmpty() {
+		p.becomeLeader()
+	}
+	return exp.Result.Clone(), false
+}
+
+// fillExpected makes progress towards having an expected event for tid:
+// it transforms buffered raw events or pulls more entries from the ring
+// buffer (demultiplexing them to the owning threads). It reports true if
+// the proc's role changed (promotion consumed).
+func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
+	for {
+		if p.role != RoleFollower {
+			return true
+		}
+		// Complete a pending promotion once every queue has drained.
+		if p.promoteSeen && p.queuesEmpty() {
+			p.becomeLeader()
+			return true
+		}
+		// Transform this thread's raw stream if we have enough of it.
+		if raw := p.rawByTID[tid]; len(raw) > 0 {
+			need := p.engine.NeedsLookahead(raw[0])
+			if len(raw) >= need || p.promoteSeen {
+				expected, consumed, fired := p.engine.Transform(raw)
+				if fired != nil {
+					p.m.Stats.Rewritten++
+					p.m.logf("rule %q rewrote %d event(s) into %d for tid %d", fired.Name, consumed, len(expected), tid)
+				}
+				seqs := make([]uint64, consumed)
+				for i := 0; i < consumed; i++ {
+					seqs[i] = raw[i].Seq
+				}
+				for i := range expected {
+					expected[i].Seq = raw[0].Seq
+				}
+				p.rawByTID[tid] = raw[consumed:]
+				p.expByTID[tid] = append(p.expByTID[tid], &expGroup{events: expected, seqs: seqs})
+				return false
+			}
+		}
+		if p.promoteSeen {
+			// Nothing buffered for this thread and no more pulls: wait
+			// for the global switch performed by the last drainer.
+			t.Block(p.waitFor(tid))
+			continue
+		}
+		// Pull one more entry from the buffer. Only one thread pulls at
+		// a time; the others wait to be fed.
+		if p.pulling {
+			t.Block(p.waitFor(tid))
+			continue
+		}
+		p.pulling = true
+		e, ok := p.m.buf.Get(t)
+		p.pulling = false
+		if !ok {
+			// Buffer closed: the duo is being torn down. Wake peers so
+			// they observe the teardown too, then park.
+			p.wakeAllTIDs()
+			p.parkForever(t)
+		}
+		switch e.Kind {
+		case ringbuf.KindPromote:
+			p.promoteSeen = true
+			p.wakeAllTIDs()
+		case ringbuf.KindShutdown:
+			p.wakeAllTIDs()
+			p.parkForever(t)
+		default:
+			etid := e.Event.Call.TID
+			p.rawByTID[etid] = append(p.rawByTID[etid], e.Event)
+			if etid != tid {
+				p.waitFor(etid).WakeAll(p.m.sched)
+			}
+		}
+	}
+}
+
+func (p *Proc) becomeLeader() {
+	m := p.m
+	m.logf("%s promoted to leader", p.name)
+	old := m.leader
+	m.leader = p
+	m.follower = old
+	p.role = RoleLeader
+	p.promoteSeen = false
+	p.wakeAllTIDs()
+	// The demoted process validates the new leader's stream with no
+	// rewrite rules unless the controller installed a reverse set.
+	if old != nil && old.engine == nil {
+		old.engine = dsl.NewEngine(nil)
+	}
+	m.promoWait.WakeAll(m.sched)
+	m.Stats.Promotions++
+	if m.OnPromoted != nil {
+		m.OnPromoted(p)
+	}
+}
+
+// SetReverseRules installs the updated-leader-stage rule set on the
+// demoted follower (§3.3.2). Call before RequestPromote.
+func (m *Monitor) SetReverseRules(rules *dsl.RuleSet) {
+	if m.leader != nil {
+		m.leader.engine = dsl.NewEngine(rules)
+	}
+}
+
+// parkForever blocks the calling task until it is killed.
+func (p *Proc) parkForever(t *sim.Task) {
+	var q sim.WaitQueue
+	for {
+		t.Block(&q)
+	}
+}
+
+// compare checks a follower call against the expected (rewritten) event.
+// The comparison contract mirrors Varan's: identical op; identical target
+// object; byte-identical output payloads. Input calls need not match on
+// incidental parameters like requested read size.
+func compare(exp sysabi.Event, got sysabi.Call) (string, bool) {
+	e := exp.Call
+	if e.Op != got.Op {
+		return fmt.Sprintf("syscall mismatch: %v vs %v", e.Op, got.Op), false
+	}
+	switch got.Op {
+	case sysabi.OpWrite, sysabi.OpFWrite:
+		if e.FD != got.FD {
+			return fmt.Sprintf("fd mismatch: %d vs %d", e.FD, got.FD), false
+		}
+		if string(e.Buf) != string(got.Buf) {
+			return fmt.Sprintf("output mismatch: %q vs %q", trim(e.Buf), trim(got.Buf)), false
+		}
+	case sysabi.OpRead, sysabi.OpFRead, sysabi.OpAccept, sysabi.OpClose, sysabi.OpEpollWait:
+		if e.FD != got.FD {
+			return fmt.Sprintf("fd mismatch: %d vs %d", e.FD, got.FD), false
+		}
+	case sysabi.OpEpollCtl:
+		if e.FD != got.FD || e.Args != got.Args {
+			return "epoll_ctl args mismatch", false
+		}
+	case sysabi.OpSocket, sysabi.OpConnect:
+		if e.Args[0] != got.Args[0] {
+			return fmt.Sprintf("port mismatch: %d vs %d", e.Args[0], got.Args[0]), false
+		}
+	case sysabi.OpOpen:
+		if e.Path != got.Path || e.Args[0] != got.Args[0] {
+			return fmt.Sprintf("open mismatch: %q vs %q", e.Path, got.Path), false
+		}
+	case sysabi.OpStat, sysabi.OpUnlink, sysabi.OpListDir:
+		if e.Path != got.Path {
+			return fmt.Sprintf("path mismatch: %q vs %q", e.Path, got.Path), false
+		}
+	}
+	return "", true
+}
+
+func trim(b []byte) string {
+	if len(b) > 40 {
+		return string(b[:40]) + "..."
+	}
+	return string(b)
+}

@@ -1,0 +1,625 @@
+package mve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/dsl"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// world builds a scheduler + kernel + monitor.
+func world(bufCap int, costs Costs) (*sim.Scheduler, *vos.Kernel, *Monitor) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	m := New(k, bufCap, costs)
+	return s, k, m
+}
+
+func inv(p *Proc, t *sim.Task, c sysabi.Call) sysabi.Result { return p.Invoke(t, c) }
+
+func TestSingleLeaderPassesThrough(t *testing.T) {
+	s, _, m := world(16, Costs{})
+	p := m.StartSingleLeader("v0")
+	s.Go("app", func(tk *sim.Task) {
+		r := inv(p, tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{80, 0}})
+		if !r.OK() {
+			t.Errorf("socket: %v", r.Err)
+		}
+		r = inv(p, tk, sysabi.Call{Op: sysabi.OpGetPID})
+		if !r.OK() || r.Ret == 0 {
+			t.Errorf("getpid: %+v", r)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p.Role() != RoleSingleLeader || p.Syscalls != 2 {
+		t.Fatalf("role=%v syscalls=%d", p.Role(), p.Syscalls)
+	}
+}
+
+func TestSingleLeaderInterceptCostCharged(t *testing.T) {
+	s, _, m := world(16, Costs{Intercept: time.Microsecond})
+	p := m.StartSingleLeader("v0")
+	s.Go("app", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			inv(p, tk, sysabi.Call{Op: sysabi.OpClock})
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Now() != 5*time.Microsecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestKernelStateTracking(t *testing.T) {
+	s, _, m := world(16, Costs{})
+	p := m.StartSingleLeader("v0")
+	s.Go("app", func(tk *sim.Task) {
+		inv(p, tk, sysabi.Call{Op: sysabi.OpGetPID})
+		lfd := int(inv(p, tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{80, 0}}).Ret)
+		efd := int(inv(p, tk, sysabi.Call{Op: sysabi.OpEpollCreate}).Ret)
+		ks := p.KernelStateSnapshot()
+		if ks.LogicalPID == 0 {
+			t.Error("pid not tracked")
+		}
+		if !ks.OpenFDs[lfd] || !ks.OpenFDs[efd] {
+			t.Error("fds not tracked")
+		}
+		if !ks.EpollFDs[efd] {
+			t.Error("epoll fd not tracked")
+		}
+		if ks.Listeners[lfd] != 80 {
+			t.Errorf("listener port = %d", ks.Listeners[lfd])
+		}
+		inv(p, tk, sysabi.Call{Op: sysabi.OpClose, FD: efd})
+		ks = p.KernelStateSnapshot()
+		if ks.OpenFDs[efd] || ks.EpollFDs[efd] {
+			t.Error("close not tracked")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestKernelStateCloneIsDeep(t *testing.T) {
+	ks := newKernelState()
+	ks.OpenFDs[3] = true
+	c := ks.Clone()
+	c.OpenFDs[4] = true
+	if ks.OpenFDs[4] {
+		t.Fatal("Clone shares maps")
+	}
+}
+
+// leaderEcho runs a tiny echo server loop through proc p: accept once,
+// then read/write n times.
+func leaderEcho(k *vos.Kernel, p *Proc, iterations int) func(*sim.Task) {
+	return func(tk *sim.Task) {
+		lfd := int(p.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{7, 0}}).Ret)
+		fd := int(p.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd}).Ret)
+		for i := 0; i < iterations; i++ {
+			r := p.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+			if r.Ret == 0 {
+				return
+			}
+			p.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: r.Data})
+		}
+	}
+}
+
+// client drives the echo server with the given messages.
+func client(k *vos.Kernel, msgs []string, replies *[]string) func(*sim.Task) {
+	return func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{7, 0}}).Ret)
+		for _, msg := range msgs {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte(msg)})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+			*replies = append(*replies, string(r.Data))
+		}
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	}
+}
+
+// followerEcho replays the identical echo behaviour through the follower
+// proc. Its fds come from replayed results, so they match the leader's.
+func followerEcho(p *Proc, iterations int) func(*sim.Task) {
+	return leaderEchoLike(p, iterations, nil)
+}
+
+// leaderEchoLike is the follower's program: same syscall sequence, with an
+// optional transform applied to each echoed payload (to provoke or model
+// version differences).
+func leaderEchoLike(p *Proc, iterations int, mutate func([]byte) []byte) func(*sim.Task) {
+	return func(tk *sim.Task) {
+		lfd := int(p.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{7, 0}}).Ret)
+		fd := int(p.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd}).Ret)
+		for i := 0; i < iterations; i++ {
+			r := p.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+			if r.Ret == 0 {
+				return
+			}
+			out := r.Data
+			if mutate != nil {
+				out = mutate(out)
+			}
+			p.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: out})
+		}
+	}
+}
+
+func TestLeaderFollowerAgreement(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+
+	var replies []string
+	s.Go("leader", leaderEcho(k, leader, 3))
+	fTask := s.Go("follower", followerEcho(follower, 3))
+	s.Go("client", client(k, []string{"a", "b", "c"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		// Let everything run, then tear down the follower so Run ends.
+		for len(replies) < 3 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(m.Divergences()) != 0 {
+		t.Fatalf("unexpected divergences: %v", m.Divergences())
+	}
+	if strings.Join(replies, "") != "abc" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if leader.Role() != RoleSingleLeader {
+		t.Fatalf("leader role after drop = %v", leader.Role())
+	}
+}
+
+func TestFollowerOutputMismatchDiverges(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+
+	var got Divergence
+	var fTask *sim.Task
+	m.OnDivergence = func(d Divergence) {
+		got = d
+		m.DropFollower()
+		fTask.Kill()
+	}
+	var replies []string
+	s.Go("leader", leaderEcho(k, leader, 2))
+	fTask = s.Go("follower", leaderEchoLike(follower, 2, func(b []byte) []byte {
+		return []byte("WRONG")
+	}))
+	s.Go("client", client(k, []string{"x", "y"}, &replies))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got.Reason == "" || !strings.Contains(got.Reason, "output mismatch") {
+		t.Fatalf("divergence = %+v", got)
+	}
+	if got.Proc != "v1" {
+		t.Fatalf("divergence proc = %q", got.Proc)
+	}
+	// The client is unaffected: the leader carried on.
+	if strings.Join(replies, "") != "xy" {
+		t.Fatalf("replies = %v", replies)
+	}
+}
+
+func TestFollowerSyscallKindMismatchDiverges(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var fTask *sim.Task
+	diverged := false
+	m.OnDivergence = func(d Divergence) {
+		diverged = true
+		m.DropFollower()
+		fTask.Kill()
+	}
+	var replies []string
+	s.Go("leader", leaderEcho(k, leader, 1))
+	fTask = s.Go("follower", func(tk *sim.Task) {
+		follower.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{7, 0}})
+		// Leader accepts next; follower instead issues clock -> mismatch.
+		follower.Invoke(tk, sysabi.Call{Op: sysabi.OpClock})
+	})
+	s.Go("client", client(k, []string{"q"}, &replies))
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !diverged {
+		t.Fatal("expected divergence")
+	}
+}
+
+func TestRewriteRuleMasksExpectedDivergence(t *testing.T) {
+	// Leader echoes the raw payload; the follower (a "new version")
+	// upper-cases it. A rewrite rule adjusts the expected write.
+	rules := dsl.MustParse(`
+rule "upper" {
+    match write(fd, s, n) {
+        emit write(fd, upper(s), n);
+    }
+}
+`)
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", rules)
+	var replies []string
+	var fTask *sim.Task
+	s.Go("leader", leaderEcho(k, leader, 2))
+	fTask = s.Go("follower", leaderEchoLike(follower, 2, func(b []byte) []byte {
+		return []byte(strings.ToUpper(string(b)))
+	}))
+	s.Go("client", client(k, []string{"ab", "cd"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(replies) < 2 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(m.Divergences()) != 0 {
+		t.Fatalf("divergences: %v", m.Divergences())
+	}
+	// Clients observe the leader's (old) behaviour.
+	if strings.Join(replies, "") != "abcd" {
+		t.Fatalf("replies = %v", replies)
+	}
+}
+
+func TestFollowerReceivesLeaderData(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var followerSaw []string
+	var fTask *sim.Task
+	var replies []string
+	s.Go("leader", leaderEcho(k, leader, 2))
+	fTask = s.Go("follower", func(tk *sim.Task) {
+		lfd := int(follower.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{7, 0}}).Ret)
+		fd := int(follower.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd}).Ret)
+		for i := 0; i < 2; i++ {
+			r := follower.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+			followerSaw = append(followerSaw, string(r.Data))
+			follower.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: r.Data})
+		}
+	})
+	s.Go("client", client(k, []string{"hello", "world"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(followerSaw) < 2 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if strings.Join(followerSaw, " ") != "hello world" {
+		t.Fatalf("follower saw %v", followerSaw)
+	}
+}
+
+// gatedClient sends the first batch, parks on gate, then sends the rest.
+func gatedClient(k *vos.Kernel, first, second []string, replies *[]string, gate *sim.WaitQueue, atGate *bool) func(*sim.Task) {
+	return func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{7, 0}}).Ret)
+		send := func(msgs []string) {
+			for _, msg := range msgs {
+				k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte(msg)})
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+				*replies = append(*replies, string(r.Data))
+			}
+		}
+		send(first)
+		*atGate = true
+		tk.Block(gate)
+		send(second)
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	}
+}
+
+func TestPromotionSwapsRoles(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var replies []string
+	var gate sim.WaitQueue
+	atGate := false
+	s.Go("leader", leaderEcho(k, leader, 4))
+	s.Go("follower", followerEcho(follower, 4))
+	s.Go("client", gatedClient(k, []string{"1", "2"}, []string{"3", "4"}, &replies, &gate, &atGate))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for !atGate {
+			tk.Sleep(time.Millisecond)
+		}
+		m.RequestPromote()
+		gate.WakeAll(s)
+		for len(replies) < 4 {
+			tk.Sleep(time.Millisecond)
+		}
+		// Drop the demoted follower (old version): t6.
+		old := m.Follower()
+		if old != leader {
+			t.Errorf("demoted follower = %v, want original leader", old)
+		}
+		m.DropFollower()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if strings.Join(replies, "") != "1234" {
+		t.Fatalf("replies = %v (service interrupted across promotion)", replies)
+	}
+	if m.Leader() != follower || follower.Role() != RoleSingleLeader {
+		t.Fatalf("final leader = %v role = %v", m.Leader().Name(), follower.Role())
+	}
+	if len(m.Divergences()) != 0 {
+		t.Fatalf("divergences: %v", m.Divergences())
+	}
+}
+
+func TestPromotionValidatesOldVersionAfterSwap(t *testing.T) {
+	// After promotion the demoted old version validates the new leader's
+	// stream; a mismatch must be attributed to the old version.
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var replies []string
+	var diverged *Divergence
+	var oldTask *sim.Task
+	m.OnDivergence = func(d Divergence) {
+		diverged = &d
+		m.DropFollower()
+		// Kill the diverged demoted follower (the old version).
+		oldTask.Kill()
+	}
+	var gate sim.WaitQueue
+	atGate := false
+	// Old version echoes payloads verbatim for the first 2 rounds but
+	// would echo "OLD" afterwards; new version echoes verbatim always.
+	n := 0
+	oldTask = s.Go("v0", leaderEchoLike(leader, 4, func(b []byte) []byte {
+		n++
+		if n > 2 {
+			return []byte("OLD")
+		}
+		return b
+	}))
+	s.Go("v1", followerEcho(follower, 4))
+	s.Go("client", gatedClient(k, []string{"1", "2"}, []string{"3", "4"}, &replies, &gate, &atGate))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for !atGate {
+			tk.Sleep(time.Millisecond)
+		}
+		m.RequestPromote()
+		gate.WakeAll(s)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if diverged == nil {
+		t.Fatal("expected old-version divergence after promotion")
+	}
+	if diverged.Proc != "v0" {
+		t.Fatalf("diverged proc = %q, want v0", diverged.Proc)
+	}
+	// Service continued under the new leader.
+	if strings.Join(replies, "") != "1234" {
+		t.Fatalf("replies = %v", replies)
+	}
+}
+
+func TestPromoteNowWithDeadLeader(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var replies []string
+	crashed := make([]sim.CrashInfo, 0)
+	s.OnCrash = func(c sim.CrashInfo) { crashed = append(crashed, c) }
+
+	// Leader crashes after 2 echoes (old-version bug).
+	n := 0
+	s.Go("v0", leaderEchoLike(leader, 4, func(b []byte) []byte {
+		n++
+		if n > 2 {
+			panic("old-version bug")
+		}
+		return b
+	}))
+	s.Go("v1", followerEcho(follower, 4))
+	s.Go("client", client(k, []string{"1", "2", "3", "4"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(crashed) == 0 {
+			tk.Sleep(time.Millisecond)
+		}
+		// Old version died: promote the new version (jump to t6).
+		m.PromoteNow(tk)
+		for len(replies) < 4 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Replies 1 and 2 come from the old leader; 3 and 4 from the
+	// promoted new version. No data is lost.
+	if strings.Join(replies, "") != "1234" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if m.Leader() != follower {
+		t.Fatal("follower was not promoted")
+	}
+}
+
+func TestLeaderBlocksOnFullBufferUntilDrained(t *testing.T) {
+	s, k, m := world(2, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var replies []string
+	var fTask *sim.Task
+	s.Go("leader", leaderEcho(k, leader, 4))
+	// Follower sleeps before starting, simulating a long update.
+	fTask = s.Go("follower", func(tk *sim.Task) {
+		tk.Sleep(50 * time.Millisecond)
+		followerEcho(follower, 4)(tk)
+	})
+	s.Go("client", client(k, []string{"1", "2", "3", "4"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(replies) < 4 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Buffer().ProducerBlocked == 0 {
+		t.Fatal("leader never blocked on the tiny buffer")
+	}
+	if strings.Join(replies, "") != "1234" {
+		t.Fatalf("replies = %v", replies)
+	}
+}
+
+func TestRecordCostCharged(t *testing.T) {
+	s, k, m := world(64, Costs{Record: time.Microsecond})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	_ = follower
+	var fTask *sim.Task
+	var replies []string
+	s.Go("leader", leaderEcho(k, leader, 1))
+	fTask = s.Go("follower", followerEcho(follower, 1))
+	s.Go("client", client(k, []string{"m"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(replies) < 1 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Leader issued 4 syscalls (socket, accept, read, write); each cost 1µs.
+	if s.Now() < 4*time.Microsecond {
+		t.Fatalf("Now = %v, record cost not charged", s.Now())
+	}
+}
+
+func TestLockstepLeaderWaitsForFollower(t *testing.T) {
+	s, k, m := world(64, Costs{})
+	m.Lockstep = true
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	var replies []string
+	var fTask *sim.Task
+	maxLag := 0
+	s.Go("leader", func(tk *sim.Task) {
+		lfd := int(leader.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{7, 0}}).Ret)
+		fd := int(leader.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd}).Ret)
+		for i := 0; i < 3; i++ {
+			r := leader.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+			if lag := m.Buffer().Len(); lag > maxLag {
+				maxLag = lag
+			}
+			leader.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: r.Data})
+		}
+	})
+	fTask = s.Go("follower", followerEcho(follower, 3))
+	s.Go("client", client(k, []string{"1", "2", "3"}, &replies))
+	s.Go("orchestrator", func(tk *sim.Task) {
+		for len(replies) < 3 {
+			tk.Sleep(time.Millisecond)
+		}
+		m.DropFollower()
+		fTask.Kill()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// In lockstep the leader never runs ahead: after each Invoke the
+	// buffer has been drained before the next call starts.
+	if maxLag > 1 {
+		t.Fatalf("maxLag = %d, want <= 1 in lockstep", maxLag)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleSingleLeader.String() != "single-leader" || RoleLeader.String() != "leader" ||
+		RoleFollower.String() != "follower" || Role(9).String() != "role(9)" {
+		t.Fatal("Role.String mismatch")
+	}
+}
+
+func TestDivergenceString(t *testing.T) {
+	d := Divergence{Proc: "v1", Seq: 3, Expected: sysabi.Event{Call: sysabi.Call{Op: sysabi.OpWrite, FD: 1, Buf: []byte("a")}}, Got: sysabi.Call{Op: sysabi.OpRead, FD: 1}, Reason: "syscall mismatch"}
+	s := d.String()
+	if !strings.Contains(s, "v1") || !strings.Contains(s, "#3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCompareMatrix(t *testing.T) {
+	w := func(fd int, s string) sysabi.Call { return sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte(s)} }
+	cases := []struct {
+		exp  sysabi.Call
+		got  sysabi.Call
+		want bool
+	}{
+		{w(1, "a"), w(1, "a"), true},
+		{w(1, "a"), w(1, "b"), false},
+		{w(1, "a"), w(2, "a"), false},
+		{sysabi.Call{Op: sysabi.OpRead, FD: 1, Args: [2]int64{10, 0}}, sysabi.Call{Op: sysabi.OpRead, FD: 1, Args: [2]int64{999, 0}}, true}, // read size is incidental
+		{sysabi.Call{Op: sysabi.OpRead, FD: 1}, sysabi.Call{Op: sysabi.OpRead, FD: 2}, false},
+		{sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{80, 0}}, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{80, 0}}, true},
+		{sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{80, 0}}, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{81, 0}}, false},
+		{sysabi.Call{Op: sysabi.OpOpen, Path: "/a"}, sysabi.Call{Op: sysabi.OpOpen, Path: "/b"}, false},
+		{sysabi.Call{Op: sysabi.OpClock}, sysabi.Call{Op: sysabi.OpClock}, true},
+		{sysabi.Call{Op: sysabi.OpClock}, sysabi.Call{Op: sysabi.OpGetPID}, false},
+	}
+	for i, tc := range cases {
+		_, ok := compare(sysabi.Event{Call: tc.exp}, tc.got)
+		if ok != tc.want {
+			t.Errorf("case %d: compare = %v, want %v", i, ok, tc.want)
+		}
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	s, k, m := world(8, Costs{})
+	leader := m.StartSingleLeader("v0")
+	follower := m.AttachFollower("v1", nil)
+	_ = leader
+	_ = k
+	_ = follower
+	m.DropFollower()
+	_ = s
+	log := strings.Join(m.EventLog(), "\n")
+	for _, want := range []string{"single leader", "attached as follower", "dropped"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q:\n%s", want, log)
+		}
+	}
+}

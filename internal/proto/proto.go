@@ -1,0 +1,137 @@
+// Package proto provides the wire-protocol building blocks shared by the
+// reproduction's servers and benchmark clients: CRLF line buffering,
+// RESP-style reply encoding (kvstore), memcached text-protocol replies,
+// and FTP status lines.
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// LineBuffer accumulates stream bytes and yields complete lines
+// terminated by \n (with optional \r). Servers feed it read() payloads
+// and pop commands as they complete.
+type LineBuffer struct {
+	buf bytes.Buffer
+}
+
+// Feed appends stream data.
+func (b *LineBuffer) Feed(data []byte) { b.buf.Write(data) }
+
+// Len returns the number of buffered bytes.
+func (b *LineBuffer) Len() int { return b.buf.Len() }
+
+// Next pops one complete line without its terminator, reporting whether
+// one was available.
+func (b *LineBuffer) Next() (string, bool) {
+	data := b.buf.Bytes()
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return "", false
+	}
+	line := string(data[:i])
+	b.buf.Next(i + 1)
+	return strings.TrimRight(line, "\r"), true
+}
+
+// Clone deep-copies the buffer (for application forks).
+func (b *LineBuffer) Clone() *LineBuffer {
+	out := &LineBuffer{}
+	out.buf.Write(b.buf.Bytes())
+	return out
+}
+
+// Fields splits a command line into whitespace-separated tokens.
+func Fields(line string) []string { return strings.Fields(line) }
+
+// RESP-style encoders (the kvstore's reply format).
+
+// SimpleString encodes "+s\r\n".
+func SimpleString(s string) []byte { return []byte("+" + s + "\r\n") }
+
+// ErrorReply encodes "-ERR msg\r\n".
+func ErrorReply(msg string) []byte { return []byte("-ERR " + msg + "\r\n") }
+
+// WrongTypeReply is the canonical wrong-type error.
+func WrongTypeReply() []byte {
+	return []byte("-WRONGTYPE Operation against a key holding the wrong kind of value\r\n")
+}
+
+// Integer encodes ":n\r\n".
+func Integer(n int64) []byte { return []byte(fmt.Sprintf(":%d\r\n", n)) }
+
+// Bulk encodes "$len\r\ndata\r\n".
+func Bulk(s string) []byte { return []byte(fmt.Sprintf("$%d\r\n%s\r\n", len(s), s)) }
+
+// NullBulk encodes the RESP null bulk "$-1\r\n".
+func NullBulk() []byte { return []byte("$-1\r\n") }
+
+// Array encodes a RESP array of bulk strings; nil entries become nulls.
+func Array(items []*string) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "*%d\r\n", len(items))
+	for _, it := range items {
+		if it == nil {
+			b.Write(NullBulk())
+		} else {
+			b.Write(Bulk(*it))
+		}
+	}
+	return b.Bytes()
+}
+
+// Memcached text protocol replies.
+
+// McValue encodes "VALUE <key> <flags> <len>\r\n<data>\r\nEND\r\n".
+func McValue(key string, flags int, data string) []byte {
+	return []byte(fmt.Sprintf("VALUE %s %d %d\r\n%s\r\nEND\r\n", key, flags, len(data), data))
+}
+
+// McValuePart encodes one VALUE block without the END terminator, for
+// multi-key gets.
+func McValuePart(key string, flags int, data string) []byte {
+	return []byte(fmt.Sprintf("VALUE %s %d %d\r\n%s\r\n", key, flags, len(data), data))
+}
+
+// McEnd encodes the bare miss reply "END\r\n".
+func McEnd() []byte { return []byte("END\r\n") }
+
+// McStored encodes "STORED\r\n".
+func McStored() []byte { return []byte("STORED\r\n") }
+
+// McNotStored encodes "NOT_STORED\r\n".
+func McNotStored() []byte { return []byte("NOT_STORED\r\n") }
+
+// McDeleted encodes "DELETED\r\n".
+func McDeleted() []byte { return []byte("DELETED\r\n") }
+
+// McNotFound encodes "NOT_FOUND\r\n".
+func McNotFound() []byte { return []byte("NOT_FOUND\r\n") }
+
+// McError encodes the generic "ERROR\r\n".
+func McError() []byte { return []byte("ERROR\r\n") }
+
+// McClientError encodes "CLIENT_ERROR msg\r\n".
+func McClientError(msg string) []byte { return []byte("CLIENT_ERROR " + msg + "\r\n") }
+
+// FTP control-channel replies.
+
+// FTPReply encodes "code text\r\n".
+func FTPReply(code int, text string) []byte {
+	return []byte(fmt.Sprintf("%d %s\r\n", code, text))
+}
+
+// FTPUnknown is the 500 reply for unrecognized commands.
+func FTPUnknown() []byte { return FTPReply(500, "Unknown command") }
+
+// ParseFTPCommand splits an FTP command line into verb and argument.
+func ParseFTPCommand(line string) (verb, arg string) {
+	line = strings.TrimSpace(line)
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return strings.ToUpper(line), ""
+	}
+	return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+}

@@ -1,0 +1,178 @@
+// Package ringbuf implements the Varan-style shared ring buffer at the
+// heart of MVEDSUA's update pipeline (§3.1-3.2 of the paper).
+//
+// The leader appends each executed system call and its result; followers
+// consume entries in order and validate their own syscalls against them.
+// The buffer has a fixed capacity: when it fills, the leader blocks until
+// the follower drains entries — this is exactly the mechanism behind the
+// paper's Figure 7 (small buffers reintroduce the update pause; a 2^24
+// buffer hides it completely).
+//
+// Besides syscall events the buffer carries control entries: promotion
+// (the leader demotes itself, §3.2 t4) and termination.
+package ringbuf
+
+import (
+	"fmt"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// Kind discriminates ring buffer entries.
+type Kind int
+
+// Entry kinds.
+const (
+	KindSyscall  Kind = iota // a recorded syscall event
+	KindPromote              // leader demoted itself; consumer becomes leader
+	KindShutdown             // producer exited; consumers should stop
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindSyscall:
+		return "syscall"
+	case KindPromote:
+		return "promote"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Entry is one slot of the ring buffer.
+type Entry struct {
+	Kind  Kind
+	Event sysabi.Event
+}
+
+// Buffer is a single-producer single-consumer ring of Entries with
+// cooperative blocking semantics on the sim scheduler. Storage grows
+// lazily up to the configured capacity, so a 2^24-entry buffer (the
+// paper's largest, §6.1) only consumes memory proportional to its actual
+// occupancy.
+type Buffer struct {
+	sched    *sim.Scheduler
+	capacity int
+	q        []Entry // q[0] is the oldest pending entry
+	seq      uint64  // sequence numbers assigned to syscall events
+
+	notEmpty sim.WaitQueue
+	notFull  sim.WaitQueue
+
+	closed bool
+
+	// HighWater tracks the maximum occupancy ever reached, for reporting.
+	HighWater int
+	// ProducerBlocked counts how many times the producer had to wait on a
+	// full buffer (the visible service pause of Figure 7).
+	ProducerBlocked int
+}
+
+// New returns a buffer with the given capacity (minimum 1).
+func New(sched *sim.Scheduler, capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{sched: sched, capacity: capacity}
+}
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// Len returns the current occupancy.
+func (b *Buffer) Len() int { return len(b.q) }
+
+// Empty reports whether no entries are pending.
+func (b *Buffer) Empty() bool { return len(b.q) == 0 }
+
+// Full reports whether the buffer has no free slots.
+func (b *Buffer) Full() bool { return len(b.q) >= b.capacity }
+
+// Closed reports whether Close has been called.
+func (b *Buffer) Closed() bool { return b.closed }
+
+// NextSeq returns the sequence number the next recorded event will get.
+func (b *Buffer) NextSeq() uint64 { return b.seq }
+
+// Put appends an entry, blocking the producer task while the buffer is
+// full. It reports false if the buffer was closed.
+func (b *Buffer) Put(t *sim.Task, e Entry) bool {
+	for b.Full() {
+		if b.closed {
+			return false
+		}
+		b.ProducerBlocked++
+		t.Block(&b.notFull)
+	}
+	if b.closed {
+		return false
+	}
+	if e.Kind == KindSyscall {
+		e.Event.Seq = b.seq
+		b.seq++
+	}
+	b.q = append(b.q, e)
+	if n := len(b.q); n > b.HighWater {
+		b.HighWater = n
+	}
+	b.notEmpty.WakeAll(b.sched)
+	return true
+}
+
+// PutEvent is a convenience wrapper recording a syscall event.
+func (b *Buffer) PutEvent(t *sim.Task, ev sysabi.Event) bool {
+	return b.Put(t, Entry{Kind: KindSyscall, Event: ev})
+}
+
+// Get removes and returns the oldest entry, blocking the consumer task
+// while the buffer is empty. It reports false if the buffer was closed and
+// fully drained.
+func (b *Buffer) Get(t *sim.Task) (Entry, bool) {
+	for b.Empty() {
+		if b.closed {
+			return Entry{}, false
+		}
+		t.Block(&b.notEmpty)
+	}
+	e := b.q[0]
+	b.q[0] = Entry{} // release payload references promptly
+	b.q = b.q[1:]
+	if len(b.q) == 0 {
+		b.q = nil // let the backing array be collected
+	}
+	b.notFull.WakeAll(b.sched)
+	return e, true
+}
+
+// Peek returns the oldest entry without removing it, if one is available.
+func (b *Buffer) Peek() (Entry, bool) {
+	if b.Empty() {
+		return Entry{}, false
+	}
+	return b.q[0], true
+}
+
+// Close marks the buffer closed and wakes all waiters. Pending entries can
+// still be drained with Get; Put fails afterwards.
+func (b *Buffer) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.notEmpty.WakeAll(b.sched)
+	b.notFull.WakeAll(b.sched)
+}
+
+// Reset discards all pending entries and reopens the buffer, reusing the
+// allocation. Used when MVEDSUA rolls an update back and later retries.
+func (b *Buffer) Reset() {
+	b.q = nil
+	b.seq = 0
+	b.closed = false
+	b.HighWater = 0
+	b.ProducerBlocked = 0
+}

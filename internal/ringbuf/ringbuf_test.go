@@ -1,0 +1,359 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+func ev(op sysabi.Op, payload string) sysabi.Event {
+	return sysabi.Event{
+		Call:   sysabi.Call{Op: op, Buf: []byte(payload)},
+		Result: sysabi.Result{Ret: int64(len(payload))},
+	}
+}
+
+func TestPutGetOrder(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	var got []string
+	s.Go("producer", func(tk *sim.Task) {
+		for _, p := range []string{"a", "b", "c"} {
+			b.PutEvent(tk, ev(sysabi.OpWrite, p))
+		}
+	})
+	s.Go("consumer", func(tk *sim.Task) {
+		for i := 0; i < 3; i++ {
+			e, ok := b.Get(tk)
+			if !ok {
+				t.Error("Get failed")
+				return
+			}
+			got = append(got, string(e.Event.Call.Buf))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestSequenceNumbersAssigned(t *testing.T) {
+	s := sim.New()
+	b := New(s, 8)
+	s.Go("t", func(tk *sim.Task) {
+		for i := 0; i < 3; i++ {
+			b.PutEvent(tk, ev(sysabi.OpRead, "x"))
+		}
+		for want := uint64(0); want < 3; want++ {
+			e, _ := b.Get(tk)
+			if e.Event.Seq != want {
+				t.Errorf("seq = %d, want %d", e.Event.Seq, want)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestProducerBlocksWhenFull(t *testing.T) {
+	s := sim.New()
+	b := New(s, 2)
+	produced := 0
+	s.Go("producer", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+			produced++
+		}
+	})
+	s.Go("consumer", func(tk *sim.Task) {
+		// Give the producer a chance to fill the buffer.
+		tk.Yield()
+		if produced != 2 {
+			t.Errorf("produced = %d before drain, want 2 (blocked on full)", produced)
+		}
+		if b.ProducerBlocked == 0 {
+			t.Error("ProducerBlocked not counted")
+		}
+		for i := 0; i < 5; i++ {
+			if _, ok := b.Get(tk); !ok {
+				t.Error("Get failed")
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if produced != 5 {
+		t.Fatalf("produced = %d, want 5", produced)
+	}
+}
+
+func TestConsumerBlocksWhenEmpty(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	var order []string
+	s.Go("consumer", func(tk *sim.Task) {
+		e, _ := b.Get(tk)
+		order = append(order, "got:"+string(e.Event.Call.Buf))
+	})
+	s.Go("producer", func(tk *sim.Task) {
+		order = append(order, "put")
+		b.PutEvent(tk, ev(sysabi.OpWrite, "z"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "put" || order[1] != "got:z" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCloseUnblocksConsumer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	var ok bool
+	ok = true
+	s.Go("consumer", func(tk *sim.Task) {
+		_, ok = b.Get(tk)
+	})
+	s.Go("closer", func(tk *sim.Task) {
+		tk.Yield()
+		b.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ok {
+		t.Fatal("Get on closed empty buffer should report false")
+	}
+}
+
+func TestCloseUnblocksProducer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 1)
+	var second bool
+	second = true
+	s.Go("producer", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "a"))
+		second = b.PutEvent(tk, ev(sysabi.OpWrite, "b")) // blocks: full
+	})
+	s.Go("closer", func(tk *sim.Task) {
+		tk.Yield()
+		b.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if second {
+		t.Fatal("Put on closed buffer should report false")
+	}
+}
+
+func TestDrainAfterClose(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	s.Go("t", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "a"))
+		b.PutEvent(tk, ev(sysabi.OpWrite, "b"))
+		b.Close()
+		e, ok := b.Get(tk)
+		if !ok || string(e.Event.Call.Buf) != "a" {
+			t.Errorf("first drain = %v %v", e, ok)
+		}
+		e, ok = b.Get(tk)
+		if !ok || string(e.Event.Call.Buf) != "b" {
+			t.Errorf("second drain = %v %v", e, ok)
+		}
+		if _, ok = b.Get(tk); ok {
+			t.Error("Get after full drain should fail")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPromoteEntryPassesThrough(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	s.Go("t", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		b.Put(tk, Entry{Kind: KindPromote})
+		e, _ := b.Get(tk)
+		if e.Kind != KindSyscall {
+			t.Errorf("first = %v", e.Kind)
+		}
+		e, _ = b.Get(tk)
+		if e.Kind != KindPromote {
+			t.Errorf("second = %v, want promote", e.Kind)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	s.Go("t", func(tk *sim.Task) {
+		if _, ok := b.Peek(); ok {
+			t.Error("Peek on empty should fail")
+		}
+		b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		e, ok := b.Peek()
+		if !ok || string(e.Event.Call.Buf) != "x" {
+			t.Errorf("Peek = %v %v", e, ok)
+		}
+		if b.Len() != 1 {
+			t.Error("Peek consumed the entry")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestHighWaterTracking(t *testing.T) {
+	s := sim.New()
+	b := New(s, 8)
+	s.Go("t", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		}
+		for i := 0; i < 5; i++ {
+			b.Get(tk)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b.HighWater != 5 {
+		t.Fatalf("HighWater = %d, want 5", b.HighWater)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := sim.New()
+	b := New(s, 2)
+	s.Go("t", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		b.Close()
+		b.Reset()
+		if b.Closed() || !b.Empty() || b.NextSeq() != 0 {
+			t.Error("Reset did not restore a fresh buffer")
+		}
+		if !b.PutEvent(tk, ev(sysabi.OpWrite, "y")) {
+			t.Error("Put after Reset failed")
+		}
+		e, _ := b.Get(tk)
+		if string(e.Event.Call.Buf) != "y" || e.Event.Seq != 0 {
+			t.Errorf("entry after reset = %v", e)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	s := sim.New()
+	b := New(s, 0)
+	if b.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", b.Cap())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSyscall.String() != "syscall" || KindPromote.String() != "promote" ||
+		KindShutdown.String() != "shutdown" || Kind(9).String() != "kind(9)" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+// Property: for any sequence of payloads and any capacity, FIFO order and
+// content are preserved through the buffer.
+func TestFIFOProperty(t *testing.T) {
+	f := func(payloads [][]byte, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		if len(payloads) > 64 {
+			payloads = payloads[:64]
+		}
+		s := sim.New()
+		b := New(s, capacity)
+		var got [][]byte
+		s.Go("producer", func(tk *sim.Task) {
+			for _, p := range payloads {
+				b.PutEvent(tk, sysabi.Event{Call: sysabi.Call{Op: sysabi.OpWrite, Buf: p}})
+			}
+			b.Close()
+		})
+		s.Go("consumer", func(tk *sim.Task) {
+			for {
+				e, ok := b.Get(tk)
+				if !ok {
+					return
+				}
+				got = append(got, e.Event.Call.Buf)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range got {
+			if string(got[i]) != string(payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy never exceeds capacity.
+func TestBoundedOccupancyProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		count := int(n % 40)
+		s := sim.New()
+		b := New(s, capacity)
+		okAll := true
+		s.Go("producer", func(tk *sim.Task) {
+			for i := 0; i < count; i++ {
+				b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+				if b.Len() > b.Cap() {
+					okAll = false
+				}
+			}
+			b.Close()
+		})
+		s.Go("consumer", func(tk *sim.Task) {
+			for {
+				if _, ok := b.Get(tk); !ok {
+					return
+				}
+				if b.Len() > b.Cap() {
+					okAll = false
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return okAll && b.HighWater <= b.Cap()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package rolling
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+func TestShardingIsStableAndCovers(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		s1 := shardOf(k, 4)
+		s2 := shardOf(k, 4)
+		if s1 != s2 {
+			t.Fatalf("shardOf not stable for %q", k)
+		}
+		if s1 < 0 || s1 >= 4 {
+			t.Fatalf("shard out of range: %d", s1)
+		}
+		seen[s1] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("keys cover %d/4 shards", len(seen))
+	}
+}
+
+func TestClusterServesAllShards(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	cluster := NewCluster(k, 3, "2.0.0", StrategyStateless)
+	s.Go("client", func(tk *sim.Task) {
+		defer cluster.Teardown()
+		cl := NewClient(cluster, 1)
+		defer cl.Close(tk)
+		for i := 0; i < 30; i++ {
+			cl.Step(tk, 50)
+		}
+		if cl.Metrics.Errors != 0 {
+			t.Errorf("errors without any upgrade: %d", cl.Metrics.Errors)
+		}
+		if cl.Metrics.Ops != 30 {
+			t.Errorf("ops = %d", cl.Metrics.Ops)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStatelessRestartLosesState(t *testing.T) {
+	res, err := compareOne(StrategyStateless, 2, 0, "2.0.0", "2.0.1")
+	if err != nil {
+		t.Fatalf("compareOne: %v", err)
+	}
+	if res.LostKeys == 0 {
+		t.Error("stateless rolling restart lost no keys; the §2.2 failure mode did not manifest")
+	}
+	if res.Errors == 0 {
+		t.Error("no client-visible errors despite node restarts")
+	}
+	for _, v := range res.Versions {
+		if v != "2.0.1" {
+			t.Errorf("node version = %s", v)
+		}
+	}
+}
+
+func TestCheckpointRestartKeepsStateButPauses(t *testing.T) {
+	// 20k preloaded entries -> 200ms checkpoint/restore per node.
+	res, err := compareOne(StrategyCheckpoint, 2, 20000, "2.0.0", "2.0.1")
+	if err != nil {
+		t.Fatalf("compareOne: %v", err)
+	}
+	if res.LostKeys != 0 {
+		t.Errorf("checkpointed restart lost %d keys", res.LostKeys)
+	}
+	if res.MaxLatency < 100*time.Millisecond {
+		t.Errorf("max latency = %v, want a visible restore pause", res.MaxLatency)
+	}
+}
+
+func TestMVEDSUAUpgradeLosesNothingAndNeverPauses(t *testing.T) {
+	res, err := compareOne(StrategyMVEDSUA, 2, 20000, "2.0.0", "2.0.1")
+	if err != nil {
+		t.Fatalf("compareOne: %v", err)
+	}
+	if res.LostKeys != 0 {
+		t.Errorf("MVEDSUA lost %d keys", res.LostKeys)
+	}
+	if res.Errors != 0 {
+		t.Errorf("MVEDSUA caused %d client errors", res.Errors)
+	}
+	if res.MaxLatency > 50*time.Millisecond {
+		t.Errorf("max latency = %v, want no visible pause", res.MaxLatency)
+	}
+	for _, v := range res.Versions {
+		if v != "2.0.1" {
+			t.Errorf("node version = %s", v)
+		}
+	}
+}
+
+func TestCompareOrdersStrategies(t *testing.T) {
+	results, err := Compare(2, 5000, "2.0.0", "2.0.1")
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	stateless, checkpoint, mved := results[0], results[1], results[2]
+	if stateless.LostKeys == 0 {
+		t.Error("stateless lost nothing")
+	}
+	if checkpoint.LostKeys != 0 || mved.LostKeys != 0 {
+		t.Error("checkpoint/mvedsua lost keys")
+	}
+	if !(mved.MaxLatency < checkpoint.MaxLatency) {
+		t.Errorf("latency ordering broken: mvedsua %v vs checkpoint %v",
+			mved.MaxLatency, checkpoint.MaxLatency)
+	}
+	out := FormatComparison(results)
+	if !strings.Contains(out, "per-node MVEDSUA") {
+		t.Errorf("FormatComparison = %s", out)
+	}
+}
+
+func TestNodePortsMoveAcrossRestart(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	cluster := NewCluster(k, 1, "2.0.0", StrategyStateless)
+	node := cluster.Nodes()[0]
+	before := node.Port
+	s.Go("op", func(tk *sim.Task) {
+		defer cluster.Teardown()
+		tk.Sleep(10 * time.Millisecond)
+		if err := cluster.upgradeNode(tk, node, "2.0.0", "2.0.1"); err != nil {
+			t.Errorf("upgradeNode: %v", err)
+		}
+		if node.Port == before {
+			t.Error("replacement node kept the old port")
+		}
+		tk.Yield() // let the replacement bind
+		tk.Yield()
+		// The new port serves.
+		r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{node.Port, 0}})
+		if !r.OK() {
+			t.Errorf("connect to new node: %v", r.Err)
+		}
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: int(r.Ret)})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyStateless.String() == "" || StrategyMVEDSUA.String() == "" ||
+		Strategy(9).String() != "strategy(9)" {
+		t.Fatal("Strategy.String mismatch")
+	}
+}

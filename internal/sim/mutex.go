@@ -1,0 +1,63 @@
+package sim
+
+// Mutex is a cooperative mutual-exclusion lock for sim tasks. It exists so
+// applications can reproduce the paper's timing-error scenario (§2.4): a
+// dynamic update attempted while one thread holds a lock that another
+// thread is waiting for.
+//
+// The zero value is an unlocked mutex.
+type Mutex struct {
+	owner   *Task
+	waiters WaitQueue
+}
+
+// Lock acquires the mutex, blocking the calling task until it is available.
+func (m *Mutex) Lock(t *Task) {
+	for m.owner != nil {
+		t.Block(&m.waiters)
+	}
+	m.owner = t
+}
+
+// TryLock acquires the mutex if it is free, reporting whether it did.
+func (m *Mutex) TryLock(t *Task) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.owner = t
+	return true
+}
+
+// Unlock releases the mutex and wakes one waiter. It panics if the calling
+// task does not hold the lock.
+func (m *Mutex) Unlock(t *Task) {
+	if m.owner != t {
+		panic("sim: unlock of mutex not held by " + t.Name())
+	}
+	m.owner = nil
+	m.waiters.WakeOne(t.Scheduler())
+}
+
+// Holder returns the task currently holding the lock, or nil.
+func (m *Mutex) Holder() *Task { return m.owner }
+
+// Cond is a condition variable for sim tasks.
+type Cond struct {
+	q WaitQueue
+}
+
+// Wait parks the task until Signal or Broadcast. As with sync.Cond, callers
+// must re-check their condition in a loop.
+func (c *Cond) Wait(t *Task) { t.Block(&c.q) }
+
+// Signal wakes one waiting task.
+func (c *Cond) Signal(s *Scheduler) { c.q.WakeOne(s) }
+
+// Broadcast wakes all waiting tasks.
+func (c *Cond) Broadcast(s *Scheduler) { c.q.WakeAll(s) }
+
+// Waiters returns the number of tasks parked on the condition.
+func (c *Cond) Waiters() int { return c.q.Len() }
+
+// Queue exposes the underlying wait queue for use with Task.Block.
+func (c *Cond) Queue() *WaitQueue { return &c.q }

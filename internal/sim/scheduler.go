@@ -1,0 +1,297 @@
+// Package sim provides a deterministic cooperative scheduler with virtual
+// time. It is the execution substrate for the whole MVEDSUA reproduction:
+// server threads, MVE followers, benchmark clients, and the update
+// controller all run as sim tasks inside one Scheduler.
+//
+// Exactly one task executes at a time; a task runs until it yields, blocks,
+// sleeps, or exits. The virtual clock advances only when a running task
+// charges work with Advance, or when every task is blocked and the scheduler
+// jumps to the earliest pending timer. Runs are therefore bit-for-bit
+// reproducible, which the divergence-detection tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State describes where a task is in its lifecycle.
+type State int
+
+// Task lifecycle states.
+const (
+	StateNew      State = iota // created, not yet started
+	StateRunnable              // on the run queue
+	StateRunning               // currently executing
+	StateBlocked               // parked on a WaitQueue
+	StateSleeping              // parked on the timer heap
+	StateDone                  // exited
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// DeadlockError is returned by Run when live tasks remain but none can make
+// progress: every task is blocked on a WaitQueue and no timers are pending.
+type DeadlockError struct {
+	// Blocked lists the names of the tasks that were stuck.
+	Blocked []string
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d tasks blocked: %v", len(e.Blocked), e.Blocked)
+}
+
+// CrashInfo records a task that exited by panicking. The scheduler converts
+// application panics into CrashInfo values instead of crashing the host
+// process; MVEDSUA's fault-tolerance experiments observe crashes this way.
+type CrashInfo struct {
+	Task  string      // task name
+	Value interface{} // the recovered panic value
+}
+
+// Scheduler owns the virtual clock and all tasks.
+type Scheduler struct {
+	clock   time.Duration
+	nextID  int
+	nextSeq int64
+
+	runq   []*Task
+	timers timerHeap
+	live   int // tasks not yet done
+
+	parked  chan struct{} // task -> scheduler handoff
+	current *Task
+
+	// OnCrash, if non-nil, is invoked (in scheduler context) whenever a
+	// task exits via panic. If nil, the panic is re-raised.
+	OnCrash func(CrashInfo)
+
+	crashes []CrashInfo
+	tracing bool
+	trace   []string
+	blocked map[*Task]struct{}
+}
+
+// New returns an empty scheduler with the clock at zero.
+func New() *Scheduler {
+	return &Scheduler{
+		parked:  make(chan struct{}),
+		blocked: make(map[*Task]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.clock }
+
+// Crashes returns the crashes observed so far, in order.
+func (s *Scheduler) Crashes() []CrashInfo { return s.crashes }
+
+// SetTracing enables or disables recording of a scheduling trace, useful in
+// tests that assert deterministic interleavings.
+func (s *Scheduler) SetTracing(on bool) { s.tracing = on }
+
+// Trace returns the recorded scheduling trace.
+func (s *Scheduler) Trace() []string { return s.trace }
+
+// Go creates and starts a new task running fn. The task is appended to the
+// run queue; it first executes when the scheduler reaches it. Go may be
+// called before Run, or from inside a running task.
+func (s *Scheduler) Go(name string, fn func(*Task)) *Task {
+	s.nextID++
+	t := &Task{
+		id:     s.nextID,
+		name:   name,
+		s:      s,
+		resume: make(chan struct{}),
+		state:  StateNew,
+	}
+	s.live++
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killedPanic); !isKill {
+					t.crashed = true
+					t.crashVal = r
+				}
+			}
+			t.state = StateDone
+			s.live--
+			// Wake any tasks joined on this one.
+			t.joiners.wakeAll(s)
+			s.parked <- struct{}{}
+		}()
+		t.state = StateRunning
+		fn(t)
+	}()
+	s.enqueue(t)
+	return t
+}
+
+func (s *Scheduler) enqueue(t *Task) {
+	t.state = StateRunnable
+	s.runq = append(s.runq, t)
+}
+
+// Run executes tasks until none remain, returning nil, or until no task can
+// make progress, returning a *DeadlockError.
+func (s *Scheduler) Run() error {
+	for s.live > 0 {
+		if len(s.runq) == 0 {
+			if s.timers.Len() == 0 {
+				return s.deadlock()
+			}
+			s.fireNextTimer()
+			continue
+		}
+		t := s.runq[0]
+		s.runq = s.runq[1:]
+		if t.state == StateDone {
+			continue
+		}
+		s.dispatch(t)
+	}
+	return nil
+}
+
+// RunFor executes tasks until the virtual clock passes deadline or no tasks
+// remain. Tasks still live at the deadline stay parked; Run or RunFor can be
+// called again to continue. It returns a *DeadlockError on deadlock.
+func (s *Scheduler) RunFor(d time.Duration) error {
+	deadline := s.clock + d
+	for s.live > 0 && s.clock < deadline {
+		if len(s.runq) == 0 {
+			if s.timers.Len() == 0 {
+				return s.deadlock()
+			}
+			if s.timers[0].when > deadline {
+				s.clock = deadline
+				return nil
+			}
+			s.fireNextTimer()
+			continue
+		}
+		t := s.runq[0]
+		s.runq = s.runq[1:]
+		if t.state == StateDone {
+			continue
+		}
+		s.dispatch(t)
+	}
+	if s.clock < deadline && s.live == 0 {
+		s.clock = deadline
+	}
+	return nil
+}
+
+func (s *Scheduler) deadlock() error {
+	var names []string
+	for t := range s.blocked {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return &DeadlockError{Blocked: names}
+}
+
+func (s *Scheduler) dispatch(t *Task) {
+	s.current = t
+	t.state = StateRunning
+	if s.tracing {
+		s.trace = append(s.trace, fmt.Sprintf("%d:%s", s.clock/time.Microsecond, t.name))
+	}
+	t.resume <- struct{}{}
+	<-s.parked
+	s.current = nil
+	if t.state == StateDone && t.crashed {
+		info := CrashInfo{Task: t.name, Value: t.crashVal}
+		s.crashes = append(s.crashes, info)
+		if s.OnCrash != nil {
+			s.OnCrash(info)
+		} else {
+			panic(t.crashVal)
+		}
+	}
+}
+
+// advanceTo moves the clock forward and fires all timers that are due.
+func (s *Scheduler) advanceTo(when time.Duration) {
+	if when > s.clock {
+		s.clock = when
+	}
+	for s.timers.Len() > 0 && s.timers[0].when <= s.clock {
+		tm := heap.Pop(&s.timers).(*timer)
+		if tm.task.state == StateSleeping {
+			s.enqueue(tm.task)
+		}
+	}
+}
+
+func (s *Scheduler) fireNextTimer() {
+	// Discard stale timers (task killed or woken early) without advancing
+	// the clock: a dead task's deadline must not distort the timeline.
+	for s.timers.Len() > 0 && s.timers[0].task.state != StateSleeping {
+		heap.Pop(&s.timers)
+	}
+	if s.timers.Len() == 0 {
+		return
+	}
+	tm := heap.Pop(&s.timers).(*timer)
+	if tm.when > s.clock {
+		s.clock = tm.when
+	}
+	s.enqueue(tm.task)
+	// Also release any other timers that share this instant so FIFO order
+	// among equal deadlines is preserved by seq ordering in the heap.
+	for s.timers.Len() > 0 && s.timers[0].when <= s.clock {
+		next := heap.Pop(&s.timers).(*timer)
+		if next.task.state == StateSleeping {
+			s.enqueue(next.task)
+		}
+	}
+}
+
+type timer struct {
+	when time.Duration
+	seq  int64
+	task *Task
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

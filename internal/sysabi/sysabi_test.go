@@ -1,0 +1,164 @@
+package sysabi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpRead:      "read",
+		OpWrite:     "write",
+		OpEpollWait: "epoll_wait",
+		Op(999):     "op(999)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestErrnoError(t *testing.T) {
+	if EBADF.Error() != "bad file descriptor" {
+		t.Errorf("EBADF = %q", EBADF.Error())
+	}
+	if Errno(9999).Error() != "errno 9999" {
+		t.Errorf("unknown errno = %q", Errno(9999).Error())
+	}
+}
+
+func TestCallEqual(t *testing.T) {
+	a := Call{Op: OpWrite, FD: 3, Buf: []byte("hello")}
+	b := Call{Op: OpWrite, FD: 3, Buf: []byte("hello")}
+	if !a.Equal(b) {
+		t.Fatal("identical calls not equal")
+	}
+	b.Buf = []byte("hellO")
+	if a.Equal(b) {
+		t.Fatal("different payloads compared equal")
+	}
+	b = a.Clone()
+	b.FD = 4
+	if a.Equal(b) {
+		t.Fatal("different fds compared equal")
+	}
+	b = a.Clone()
+	b.Op = OpRead
+	if a.Equal(b) {
+		t.Fatal("different ops compared equal")
+	}
+	b = a.Clone()
+	b.Args[1] = 7
+	if a.Equal(b) {
+		t.Fatal("different args compared equal")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Call{Op: OpWrite, Buf: []byte("abc")}
+	d := c.Clone()
+	d.Buf[0] = 'X'
+	if c.Buf[0] != 'a' {
+		t.Fatal("Clone shares the payload buffer")
+	}
+	r := Result{Data: []byte("xyz"), Ready: []int{1, 2}}
+	r2 := r.Clone()
+	r2.Data[0] = 'Q'
+	r2.Ready[0] = 99
+	if r.Data[0] != 'x' || r.Ready[0] != 1 {
+		t.Fatal("Result.Clone shares slices")
+	}
+}
+
+func TestHasOutputAndIsInput(t *testing.T) {
+	if !(Call{Op: OpWrite}).HasOutput() {
+		t.Error("write should be output")
+	}
+	if (Call{Op: OpRead}).HasOutput() {
+		t.Error("read should not be output")
+	}
+	for _, op := range []Op{OpRead, OpFRead, OpAccept, OpEpollWait, OpClock} {
+		if !(Call{Op: op}).IsInput() {
+			t.Errorf("%v should be input", op)
+		}
+	}
+	if (Call{Op: OpWrite}).IsInput() {
+		t.Error("write should not be input")
+	}
+}
+
+func TestCallStringForms(t *testing.T) {
+	cases := []struct {
+		c    Call
+		want string
+	}{
+		{Call{Op: OpRead, FD: 5, Args: [2]int64{128, 0}}, `read(fd=5, n=128)`},
+		{Call{Op: OpWrite, FD: 2, Buf: []byte("hi")}, `write(fd=2, "hi")`},
+		{Call{Op: OpOpen, Path: "/etc/x"}, `open("/etc/x")`},
+		{Call{Op: OpSocket, Args: [2]int64{6379, 0}}, `socket(port=6379)`},
+		{Call{Op: OpAccept, FD: 3}, `accept(fd=3)`},
+		{Call{Op: OpClock}, `clock()`},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWriteStringTruncates(t *testing.T) {
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'a'
+	}
+	s := Call{Op: OpWrite, FD: 1, Buf: long}.String()
+	if len(s) > 80 {
+		t.Errorf("String did not truncate: %d chars", len(s))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 7, Call: Call{Op: OpClose, FD: 3}, Result: Result{Ret: 0}}
+	if e.String() != "#7 close(fd=3) = 0" {
+		t.Errorf("Event.String() = %q", e.String())
+	}
+	e.Result.Err = EBADF
+	if e.String() != "#7 close(fd=3) = bad file descriptor" {
+		t.Errorf("Event.String() = %q", e.String())
+	}
+}
+
+func TestResultOK(t *testing.T) {
+	if !(Result{}).OK() {
+		t.Error("zero result should be OK")
+	}
+	if (Result{Err: EPIPE}).OK() {
+		t.Error("EPIPE should not be OK")
+	}
+}
+
+// Property: Equal is reflexive on clones and symmetric.
+func TestCallEqualProperties(t *testing.T) {
+	f := func(op uint8, fd int, buf []byte, a0, a1 int64, path string) bool {
+		c := Call{Op: Op(op % 20), FD: fd, Buf: buf, Args: [2]int64{a0, a1}, Path: path}
+		d := c.Clone()
+		return c.Equal(d) && d.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutating any field of a clone breaks equality.
+func TestCallInequalityProperty(t *testing.T) {
+	f := func(fd int, buf []byte) bool {
+		c := Call{Op: OpWrite, FD: fd, Buf: buf}
+		d := c.Clone()
+		d.FD = fd + 1
+		return !c.Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package vos implements the virtual operating system the servers run on:
+// stream sockets, an in-memory filesystem, epoll-like readiness, a virtual
+// clock, and logical process ids. It executes the virtual syscall ABI
+// defined in internal/sysabi and stands in for the Linux kernel of the
+// paper's testbed (see DESIGN.md §1 for the substitution rationale).
+package vos
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// Kernel is the virtual OS. All state mutation happens from sim tasks, one
+// at a time, so no locking is needed.
+type Kernel struct {
+	sched   *sim.Scheduler
+	fds     map[int]object
+	nextFD  int
+	ports   map[int64]*listener
+	fs      map[string]*file
+	pids    map[int]int64 // task id -> logical pid
+	nextPID int64
+
+	// activity is broadcast whenever socket state changes; epoll waiters
+	// re-poll on each wakeup.
+	activity sim.Cond
+
+	// BaseCost, if non-nil, returns the virtual CPU time a syscall costs.
+	// The benchmark harness installs the calibrated cost model here;
+	// the default is free syscalls (pure functional testing).
+	BaseCost func(sysabi.Call) time.Duration
+
+	// Stats counts executed syscalls by op.
+	Stats map[sysabi.Op]int
+}
+
+// object is anything an fd can refer to.
+type object interface{ isObject() }
+
+// NewKernel returns an empty kernel bound to the scheduler.
+func NewKernel(s *sim.Scheduler) *Kernel {
+	return &Kernel{
+		sched:  s,
+		fds:    make(map[int]object),
+		nextFD: 3, // 0-2 reserved, as tradition demands
+		ports:  make(map[int64]*listener),
+		fs:     make(map[string]*file),
+		pids:   make(map[int]int64),
+		Stats:  make(map[sysabi.Op]int),
+	}
+}
+
+// Scheduler returns the scheduler this kernel is bound to.
+func (k *Kernel) Scheduler() *sim.Scheduler { return k.sched }
+
+type listener struct {
+	port    int64
+	pending []*endpoint // server-side endpoints awaiting accept
+	waiters sim.WaitQueue
+	closed  bool
+}
+
+func (*listener) isObject() {}
+
+// endpoint is one side of a connection. A connection is a pair of peered
+// endpoints, each with its own inbox (full duplex).
+type endpoint struct {
+	inbox   bytes.Buffer // data waiting to be read by this side
+	readers sim.WaitQueue
+	closed  bool // this side closed (no more reads/writes from here)
+	peer    *endpoint
+}
+
+func (*endpoint) isObject() {}
+
+type file struct {
+	name string
+	data []byte
+}
+
+// openFile is an fd referring to a file with a cursor.
+type openFile struct {
+	f      *file
+	offset int
+	flags  int64
+}
+
+func (*openFile) isObject() {}
+
+type epoll struct {
+	watched map[int]bool
+}
+
+func (*epoll) isObject() {}
+
+func (k *Kernel) allocFD(o object) int {
+	fd := k.nextFD
+	k.nextFD++
+	k.fds[fd] = o
+	return fd
+}
+
+// Invoke implements sysabi.Dispatcher: it executes the call natively.
+func (k *Kernel) Invoke(t *sim.Task, c sysabi.Call) sysabi.Result {
+	k.Stats[c.Op]++
+	if k.BaseCost != nil {
+		if d := k.BaseCost(c); d > 0 {
+			t.Advance(d)
+		}
+	}
+	switch c.Op {
+	case sysabi.OpSocket:
+		return k.socket(c)
+	case sysabi.OpAccept:
+		return k.accept(t, c)
+	case sysabi.OpConnect:
+		return k.connect(c)
+	case sysabi.OpRead:
+		return k.read(t, c)
+	case sysabi.OpWrite:
+		return k.write(c)
+	case sysabi.OpClose:
+		return k.closeFD(c)
+	case sysabi.OpOpen:
+		return k.open(c)
+	case sysabi.OpFRead:
+		return k.fread(c)
+	case sysabi.OpFWrite:
+		return k.fwrite(c)
+	case sysabi.OpStat:
+		return k.stat(c)
+	case sysabi.OpUnlink:
+		return k.unlink(c)
+	case sysabi.OpListDir:
+		return k.listDir(c)
+	case sysabi.OpEpollCreate:
+		return sysabi.Result{Ret: int64(k.allocFD(&epoll{watched: make(map[int]bool)}))}
+	case sysabi.OpEpollCtl:
+		return k.epollCtl(c)
+	case sysabi.OpEpollWait:
+		return k.epollWait(t, c)
+	case sysabi.OpClock:
+		return sysabi.Result{Ret: int64(k.sched.Now())}
+	case sysabi.OpGetPID:
+		return k.getPID(t)
+	case sysabi.OpExit:
+		return sysabi.Result{Ret: c.Args[0]}
+	default:
+		return sysabi.Result{Err: sysabi.EINVAL}
+	}
+}
+
+func (k *Kernel) socket(c sysabi.Call) sysabi.Result {
+	port := c.Args[0]
+	if _, taken := k.ports[port]; taken {
+		return sysabi.Result{Err: sysabi.EINVAL}
+	}
+	l := &listener{port: port}
+	k.ports[port] = l
+	return sysabi.Result{Ret: int64(k.allocFD(l))}
+}
+
+func (k *Kernel) accept(t *sim.Task, c sysabi.Call) sysabi.Result {
+	l, ok := k.fds[c.FD].(*listener)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	for len(l.pending) == 0 {
+		if l.closed {
+			return sysabi.Result{Err: sysabi.EBADF}
+		}
+		t.Block(&l.waiters)
+	}
+	ep := l.pending[0]
+	l.pending = l.pending[1:]
+	return sysabi.Result{Ret: int64(k.allocFD(ep))}
+}
+
+func (k *Kernel) connect(c sysabi.Call) sysabi.Result {
+	l, ok := k.ports[c.Args[0]]
+	if !ok || l.closed {
+		return sysabi.Result{Err: sysabi.ENOENT}
+	}
+	server := &endpoint{}
+	client := &endpoint{}
+	server.peer = client
+	client.peer = server
+	l.pending = append(l.pending, server)
+	l.waiters.WakeOne(k.sched)
+	k.activity.Broadcast(k.sched)
+	return sysabi.Result{Ret: int64(k.allocFD(client))}
+}
+
+func (k *Kernel) read(t *sim.Task, c sysabi.Call) sysabi.Result {
+	ep, ok := k.fds[c.FD].(*endpoint)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	max := int(c.Args[0])
+	if max <= 0 {
+		return sysabi.Result{Err: sysabi.EINVAL}
+	}
+	for ep.inbox.Len() == 0 {
+		if ep.closed {
+			return sysabi.Result{Err: sysabi.ECONNRESET}
+		}
+		if ep.peer.closed {
+			return sysabi.Result{Ret: 0} // EOF
+		}
+		t.Block(&ep.readers)
+	}
+	n := ep.inbox.Len()
+	if n > max {
+		n = max
+	}
+	data := make([]byte, n)
+	_, _ = ep.inbox.Read(data)
+	return sysabi.Result{Ret: int64(n), Data: data}
+}
+
+func (k *Kernel) write(c sysabi.Call) sysabi.Result {
+	ep, ok := k.fds[c.FD].(*endpoint)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	if ep.closed {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	if ep.peer.closed {
+		return sysabi.Result{Err: sysabi.EPIPE}
+	}
+	ep.peer.inbox.Write(c.Buf)
+	ep.peer.readers.WakeAll(k.sched)
+	k.activity.Broadcast(k.sched)
+	return sysabi.Result{Ret: int64(len(c.Buf))}
+}
+
+func (k *Kernel) closeFD(c sysabi.Call) sysabi.Result {
+	o, ok := k.fds[c.FD]
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	delete(k.fds, c.FD)
+	switch v := o.(type) {
+	case *endpoint:
+		v.closed = true
+		v.readers.WakeAll(k.sched)
+		v.peer.readers.WakeAll(k.sched)
+		k.activity.Broadcast(k.sched)
+	case *listener:
+		v.closed = true
+		delete(k.ports, v.port)
+		v.waiters.WakeAll(k.sched)
+		k.activity.Broadcast(k.sched)
+	case *epoll, *openFile:
+		// nothing extra
+	}
+	return sysabi.Result{}
+}
+
+func (k *Kernel) open(c sysabi.Call) sysabi.Result {
+	f, ok := k.fs[c.Path]
+	switch {
+	case !ok && c.Args[0] == sysabi.OpenRead:
+		return sysabi.Result{Err: sysabi.ENOENT}
+	case !ok:
+		f = &file{name: c.Path}
+		k.fs[c.Path] = f
+	case c.Args[0] == sysabi.OpenWrite:
+		f.data = nil // truncate
+	}
+	of := &openFile{f: f, flags: c.Args[0]}
+	if c.Args[0] == sysabi.OpenAppend {
+		of.offset = len(f.data)
+	}
+	return sysabi.Result{Ret: int64(k.allocFD(of))}
+}
+
+func (k *Kernel) fread(c sysabi.Call) sysabi.Result {
+	of, ok := k.fds[c.FD].(*openFile)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	max := int(c.Args[0])
+	if max <= 0 {
+		return sysabi.Result{Err: sysabi.EINVAL}
+	}
+	rem := len(of.f.data) - of.offset
+	if rem <= 0 {
+		return sysabi.Result{Ret: 0} // EOF
+	}
+	n := rem
+	if n > max {
+		n = max
+	}
+	data := make([]byte, n)
+	copy(data, of.f.data[of.offset:of.offset+n])
+	of.offset += n
+	return sysabi.Result{Ret: int64(n), Data: data}
+}
+
+func (k *Kernel) fwrite(c sysabi.Call) sysabi.Result {
+	of, ok := k.fds[c.FD].(*openFile)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	if of.flags == sysabi.OpenRead {
+		return sysabi.Result{Err: sysabi.EINVAL}
+	}
+	// Write at cursor, extending as needed.
+	end := of.offset + len(c.Buf)
+	if end > len(of.f.data) {
+		grown := make([]byte, end)
+		copy(grown, of.f.data)
+		of.f.data = grown
+	}
+	copy(of.f.data[of.offset:], c.Buf)
+	of.offset = end
+	return sysabi.Result{Ret: int64(len(c.Buf))}
+}
+
+func (k *Kernel) stat(c sysabi.Call) sysabi.Result {
+	f, ok := k.fs[c.Path]
+	if !ok {
+		return sysabi.Result{Err: sysabi.ENOENT}
+	}
+	return sysabi.Result{Ret: int64(len(f.data))}
+}
+
+func (k *Kernel) unlink(c sysabi.Call) sysabi.Result {
+	if _, ok := k.fs[c.Path]; !ok {
+		return sysabi.Result{Err: sysabi.ENOENT}
+	}
+	delete(k.fs, c.Path)
+	return sysabi.Result{}
+}
+
+func (k *Kernel) listDir(c sysabi.Call) sysabi.Result {
+	prefix := c.Path
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	var names []string
+	for name := range k.fs {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	var out bytes.Buffer
+	for _, n := range names {
+		out.WriteString(n)
+		out.WriteByte('\n')
+	}
+	return sysabi.Result{Ret: int64(len(names)), Data: out.Bytes()}
+}
+
+func (k *Kernel) epollCtl(c sysabi.Call) sysabi.Result {
+	ep, ok := k.fds[c.FD].(*epoll)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	target := int(c.Args[0])
+	if c.Args[1] == 1 {
+		if _, exists := k.fds[target]; !exists {
+			return sysabi.Result{Err: sysabi.EBADF}
+		}
+		ep.watched[target] = true
+	} else {
+		delete(ep.watched, target)
+	}
+	return sysabi.Result{}
+}
+
+// ready reports whether fd has a pending readable event.
+func (k *Kernel) ready(fd int) bool {
+	switch v := k.fds[fd].(type) {
+	case *endpoint:
+		return v.inbox.Len() > 0 || v.peer.closed || v.closed
+	case *listener:
+		return len(v.pending) > 0
+	case *openFile:
+		return true
+	default:
+		return false
+	}
+}
+
+func (k *Kernel) epollWait(t *sim.Task, c sysabi.Call) sysabi.Result {
+	ep, ok := k.fds[c.FD].(*epoll)
+	if !ok {
+		return sysabi.Result{Err: sysabi.EBADF}
+	}
+	max := int(c.Args[0])
+	if max <= 0 {
+		max = 64
+	}
+	// Args[1] is an optional timeout in virtual nanoseconds; 0 blocks
+	// indefinitely, like epoll_wait(2) with timeout -1.
+	timeout := time.Duration(c.Args[1])
+	deadline := k.sched.Now() + timeout
+	for {
+		var fds []int
+		for fd := range ep.watched {
+			if _, exists := k.fds[fd]; !exists {
+				delete(ep.watched, fd)
+				continue
+			}
+			if k.ready(fd) {
+				fds = append(fds, fd)
+			}
+		}
+		if len(fds) > 0 {
+			sort.Ints(fds)
+			if len(fds) > max {
+				fds = fds[:max]
+			}
+			return sysabi.Result{Ret: int64(len(fds)), Ready: fds}
+		}
+		if timeout > 0 {
+			remaining := deadline - k.sched.Now()
+			if remaining <= 0 {
+				return sysabi.Result{Ret: 0} // timed out, nothing ready
+			}
+			t.BlockTimeout(k.activity.Queue(), remaining)
+		} else {
+			t.Block(k.activity.Queue())
+		}
+	}
+}
+
+func (k *Kernel) getPID(t *sim.Task) sysabi.Result {
+	if pid, ok := k.pids[t.ID()]; ok {
+		return sysabi.Result{Ret: pid}
+	}
+	k.nextPID++
+	k.pids[t.ID()] = k.nextPID
+	return sysabi.Result{Ret: k.nextPID}
+}
+
+// FileContents returns the contents of a virtual file, for tests.
+func (k *Kernel) FileContents(path string) ([]byte, bool) {
+	f, ok := k.fs[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFile creates or replaces a virtual file, for test setup.
+func (k *Kernel) WriteFile(path string, data []byte) {
+	k.fs[path] = &file{name: path, data: append([]byte(nil), data...)}
+}
+
+// OpenFDs returns the number of live file descriptors, for leak tests.
+func (k *Kernel) OpenFDs() int { return len(k.fds) }

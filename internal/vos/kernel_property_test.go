@@ -1,0 +1,186 @@
+package vos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// Property: a stream delivers exactly the bytes written, in order,
+// regardless of how writes and reads are sized and interleaved.
+func TestStreamIntegrityProperty(t *testing.T) {
+	f := func(chunks [][]byte, readSizes []uint8) bool {
+		if len(chunks) > 20 {
+			chunks = chunks[:20]
+		}
+		var want bytes.Buffer
+		for _, c := range chunks {
+			want.Write(c)
+		}
+		s := sim.New()
+		k := NewKernel(s)
+		var got bytes.Buffer
+		ok := true
+		s.Go("server", func(tk *sim.Task) {
+			lfd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{1, 0}}).Ret)
+			fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd}).Ret)
+			i := 0
+			for {
+				size := int64(64)
+				if len(readSizes) > 0 {
+					size = int64(readSizes[i%len(readSizes)]%63) + 1
+				}
+				i++
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{size, 0}})
+				if !r.OK() || r.Ret == 0 {
+					return
+				}
+				got.Write(r.Data)
+			}
+		})
+		s.Go("client", func(tk *sim.Task) {
+			fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{1, 0}}).Ret)
+			for _, c := range chunks {
+				if len(c) == 0 {
+					continue
+				}
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: c})
+				if !r.OK() || int(r.Ret) != len(c) {
+					ok = false
+				}
+				if len(c)%3 == 0 {
+					tk.Yield() // vary interleaving
+				}
+			}
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok && bytes.Equal(got.Bytes(), want.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent connections are isolated — each client reads back
+// exactly what the echo server was sent on its own connection.
+func TestConnectionIsolationProperty(t *testing.T) {
+	f := func(nRaw uint8, seed uint8) bool {
+		n := int(nRaw%5) + 2
+		s := sim.New()
+		k := NewKernel(s)
+		s.Go("server", func(tk *sim.Task) {
+			lfd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{1, 0}}).Ret)
+			efd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCreate}).Ret)
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCtl, FD: efd, Args: [2]int64{int64(lfd), 1}})
+			served := 0
+			for served < n {
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollWait, FD: efd, Args: [2]int64{16, 0}})
+				for _, fd := range r.Ready {
+					if fd == lfd {
+						nr := k.Invoke(tk, sysabi.Call{Op: sysabi.OpAccept, FD: lfd})
+						k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCtl, FD: efd, Args: [2]int64{nr.Ret, 1}})
+						continue
+					}
+					rr := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+					if !rr.OK() || rr.Ret == 0 {
+						k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCtl, FD: efd, Args: [2]int64{int64(fd), 0}})
+						k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+						served++
+						continue
+					}
+					k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: rr.Data})
+				}
+			}
+		})
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			s.Go(fmt.Sprintf("client%d", i), func(tk *sim.Task) {
+				fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{1, 0}}).Ret)
+				msg := fmt.Sprintf("msg-%d-%d", i, seed)
+				k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte(msg)})
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{128, 0}})
+				if string(r.Data) != msg {
+					ok = false
+				}
+				k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the filesystem round-trips arbitrary content through
+// fwrite/fread at arbitrary chunk sizes.
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(content []byte, chunkRaw uint8) bool {
+		chunk := int64(chunkRaw%100) + 1
+		s := sim.New()
+		k := NewKernel(s)
+		ok := true
+		s.Go("t", func(tk *sim.Task) {
+			fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpOpen, Path: "/f", Args: [2]int64{sysabi.OpenWrite, 0}}).Ret)
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpFWrite, FD: fd, Buf: content})
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+			st := k.Invoke(tk, sysabi.Call{Op: sysabi.OpStat, Path: "/f"})
+			if int(st.Ret) != len(content) {
+				ok = false
+				return
+			}
+			fd = int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpOpen, Path: "/f", Args: [2]int64{sysabi.OpenRead, 0}}).Ret)
+			var got bytes.Buffer
+			for {
+				r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpFRead, FD: fd, Args: [2]int64{chunk, 0}})
+				if r.Ret == 0 {
+					break
+				}
+				got.Write(r.Data)
+			}
+			ok = bytes.Equal(got.Bytes(), content)
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EpollWait with a bounded timeout returns empty on quiet descriptors at
+// exactly the requested deadline.
+func TestEpollWaitTimeout(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s)
+	s.Go("t", func(tk *sim.Task) {
+		lfd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpSocket, Args: [2]int64{1, 0}}).Ret)
+		efd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCreate}).Ret)
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollCtl, FD: efd, Args: [2]int64{int64(lfd), 1}})
+		start := tk.Now()
+		r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpEpollWait, FD: efd, Args: [2]int64{8, int64(25 * time.Millisecond)}})
+		if !r.OK() || r.Ret != 0 {
+			t.Errorf("timed-out wait = %+v", r)
+		}
+		if got := tk.Now() - start; got != 25*time.Millisecond {
+			t.Errorf("waited %v, want 25ms", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
