@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test vet check bench experiments examples clean
 
-all: vet test
+all: check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Tier-1 verification: vet plus the full suite under the race detector,
+# which exercises the watchdog/monitor task interplay for data races.
+check: vet
+	$(GO) test -race ./...
 
 # One testing.B bench per paper table/figure, plus ablations.
 bench:

@@ -5,6 +5,7 @@
 //	benchtool -experiment fig6     # throughput while updating
 //	benchtool -experiment fig7     # update pause vs ring-buffer size
 //	benchtool -experiment faults   # §6.2 fault-tolerance runs
+//	benchtool -experiment chaos    # seeded fault matrix (§6.2 extended)
 //	benchtool -experiment rolling  # rolling-upgrade comparison (§1.1 extension)
 //	benchtool -experiment all      # everything
 //
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|rolling|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|all")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	flag.Parse()
@@ -64,6 +65,9 @@ func main() {
 	}
 	if run("faults") {
 		fmt.Println(bench.FormatFaults(bench.Faults()))
+	}
+	if run("chaos") {
+		fmt.Println(bench.FormatChaos(bench.ChaosSweep()))
 	}
 	if run("rolling") {
 		results, err := rolling.Compare(4, 20000, "2.0.0", "2.0.1")

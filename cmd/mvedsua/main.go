@@ -9,6 +9,7 @@
 //	mvedsua -app vsftpd                    # ftpd 2.0.3 -> 2.0.4
 //	mvedsua -app redis -fault newcode      # HMGET crash -> rollback
 //	mvedsua -app redis -fault xform        # broken transformation
+//	mvedsua -app redis -fault stall        # hung follower -> watchdog rollback
 //	mvedsua -app memcached -fault timing   # missing LibEvent reset -> retries
 //	mvedsua -app cluster                   # rolling upgrade vs MVEDSUA (§1.1)
 package main
@@ -25,15 +26,17 @@ import (
 	"mvedsua/internal/apps/memcache"
 	"mvedsua/internal/apps/tkv"
 	"mvedsua/internal/apptest"
+	"mvedsua/internal/chaos"
 	"mvedsua/internal/core"
 	"mvedsua/internal/dsu"
 	"mvedsua/internal/rolling"
 	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
 )
 
 func main() {
 	app := flag.String("app", "tkv", "tkv|redis|memcached|vsftpd|cluster")
-	fault := flag.String("fault", "", "''|newcode|xform|timing")
+	fault := flag.String("fault", "", "''|newcode|xform|stall|timing")
 	flag.Parse()
 
 	var err error
@@ -118,16 +121,28 @@ func demoTKV() error {
 
 func demoRedis(fault string) error {
 	opts := kvstore.UpdateOpts{PerEntryXform: time.Microsecond}
+	cfg := core.Config{}
 	switch fault {
 	case "newcode":
 		opts.BugHMGET = true
 	case "xform":
 		opts.BreakXform = true
+	case "stall":
+		// The chaos layer parks the follower at its 3rd syscall — a
+		// silent hang, not a crash — and the liveness watchdog turns it
+		// into a rollback within the configured deadline.
+		cfg.WatchdogDeadline = 50 * time.Millisecond
+		plan := chaos.NewPlan(&chaos.Injection{
+			Role: "follower", AfterCalls: 3, Kind: chaos.KindStall,
+		})
+		cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+			return chaos.Wrap(role, d, plan)
+		}
 	case "":
 	default:
-		return fmt.Errorf("redis supports faults: newcode, xform")
+		return fmt.Errorf("redis supports faults: newcode, xform, stall")
 	}
-	w := apptest.NewWorld(core.Config{})
+	w := apptest.NewWorld(cfg)
 	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()
@@ -144,6 +159,13 @@ func demoRedis(fault string) error {
 			fmt.Println("sending the bad HMGET (revision 7fb16bac's crash):")
 			fmt.Printf("  > HMGET plain f          %s", c.Do(tk, "HMGET plain f"))
 			tk.Sleep(50 * time.Millisecond)
+		}
+		if fault == "stall" {
+			fmt.Println("follower is hung; serving on while the watchdog counts down...")
+			for i := 0; i < 8; i++ {
+				c.Do(tk, "INCR counter")
+				tk.Sleep(10 * time.Millisecond)
+			}
 		}
 		if w.C.Stage() == core.StageOutdatedLeader {
 			w.C.Promote()

@@ -168,6 +168,32 @@ func TestFaultsAllTolerated(t *testing.T) {
 	}
 }
 
+func TestChaosSweepAllTolerated(t *testing.T) {
+	results := ChaosSweep()
+	if len(results) < 20 {
+		t.Fatalf("sweep has %d scenarios, want >= 20", len(results))
+	}
+	requests, failures := 0, 0
+	for _, r := range results {
+		requests += r.Requests
+		failures += r.Failures
+		if !r.Tolerated {
+			t.Errorf("%s: %s", r.Name(), r.Detail)
+		} else {
+			t.Logf("%s: %s", r.Name(), r.Outcome)
+		}
+	}
+	// The §6.2 invariant, held across the whole matrix: clients never
+	// observe a failed request, no matter the fault.
+	if failures != 0 {
+		t.Errorf("%d client-visible failures in %d requests, want 0", failures, requests)
+	}
+	if requests == 0 {
+		t.Error("sweep drove no requests")
+	}
+	_ = FormatChaos(results)
+}
+
 func TestModeStrings(t *testing.T) {
 	if ModeNative.String() != "Native" || ModeMvedsua2.String() != "Mvedsua-2" ||
 		Mode(99).String() != "mode(99)" {

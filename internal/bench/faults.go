@@ -149,6 +149,9 @@ func faultTiming() FaultResult {
 	w := apptest.NewWorld(core.Config{
 		RetryOnRollback: true,
 		RetryInterval:   500 * time.Millisecond,
+		// The paper retries on a fixed timer; cap == base disables the
+		// exponential backoff so all 8 retries fit the drive window.
+		RetryMaxInterval: 500 * time.Millisecond,
 		DSU: dsu.Config{
 			EpollWaitIsUpdatePoint: true,
 			EpollUpdateInterval:    5 * time.Millisecond,

@@ -1,0 +1,217 @@
+// Package chaos implements deterministic syscall-level fault injection
+// for the MVEDSUA reproduction. It wraps a sysabi.Dispatcher — the same
+// chokepoint through which the MVE monitor observes every externally
+// visible effect — and, driven by a seeded plan, perturbs individual
+// calls: error results, added latency, a crash at the Nth syscall, or a
+// silent stall (the task simply stops consuming its event stream).
+//
+// Everything is deterministic under the sim virtual clock: the same plan
+// against the same workload produces bit-identical runs, so every chaos
+// scenario in the sweep (internal/bench) is a reproducible regression
+// test, not a flake generator. This is the discipline dMVX and the
+// parallel-program MVEEs arrive at the hard way — once variants can
+// stall or flood the event stream, the monitor itself must be tested
+// against exactly those behaviours.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindErrno replaces the call's result with an error, skipping the
+	// real dispatch (models transient kernel-level failures and, on a
+	// follower, event-stream desynchronization).
+	KindErrno Kind = iota
+	// KindDelay sleeps the issuing task for Delay of virtual time, then
+	// executes the call normally (models a slow variant / CPU stall).
+	KindDelay
+	// KindCrash panics in the issuing task — the sim scheduler converts
+	// it into a process crash (CrashInfo), the §6.2 crash class.
+	KindCrash
+	// KindStall parks the issuing task forever: the process silently
+	// stops making progress without crashing — the failure class only a
+	// timeout-based watchdog can detect (§3.3).
+	KindStall
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindErrno:
+		return "errno"
+	case KindDelay:
+		return "delay"
+	case KindCrash:
+		return "crash"
+	case KindStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Injection is one planned fault. It fires at most once.
+type Injection struct {
+	// Role targets the fault at dispatchers wrapped with a matching role
+	// ("leader", "follower"); empty matches every role.
+	Role string
+	// Op restricts the trigger to one syscall; OpInvalid matches any.
+	Op sysabi.Op
+	// AfterCalls makes the fault fire on the Nth matching syscall after
+	// arming (1-based; values below 1 mean the first match).
+	AfterCalls int
+	// When, if non-nil, gates arming: matching syscalls are not counted
+	// until it first reports true. The chaos sweep uses this to aim
+	// faults at a lifecycle phase (e.g. only once the update is
+	// installed) without hardcoding syscall offsets.
+	When func() bool
+	// Kind selects the fault; Errno and Delay parameterize it.
+	Kind  Kind
+	Errno sysabi.Errno
+	Delay time.Duration
+
+	armed bool
+	seen  int
+	fired bool
+}
+
+// Fired reports whether the injection has triggered.
+func (inj *Injection) Fired() bool { return inj.fired }
+
+// String describes the injection for logs and reports.
+func (inj *Injection) String() string {
+	target := inj.Role
+	if target == "" {
+		target = "any"
+	}
+	op := "any-op"
+	if inj.Op != sysabi.OpInvalid {
+		op = inj.Op.String()
+	}
+	switch inj.Kind {
+	case KindErrno:
+		return fmt.Sprintf("%s@%s#%d -> %v", target, op, inj.AfterCalls, inj.Errno)
+	case KindDelay:
+		return fmt.Sprintf("%s@%s#%d -> +%v", target, op, inj.AfterCalls, inj.Delay)
+	default:
+		return fmt.Sprintf("%s@%s#%d -> %v", target, op, inj.AfterCalls, inj.Kind)
+	}
+}
+
+// FiredRecord is one triggered fault, for reporting.
+type FiredRecord struct {
+	At   time.Duration
+	Role string
+	Call string
+	Inj  string
+}
+
+// Plan is the fault schedule one run executes. A plan is shared by all
+// the run's wrapped dispatchers; each injection fires at most once.
+type Plan struct {
+	Injections []*Injection
+	// Log accumulates the faults that actually fired, in order.
+	Log []FiredRecord
+}
+
+// NewPlan builds a plan over the given injections.
+func NewPlan(injections ...*Injection) *Plan {
+	return &Plan{Injections: injections}
+}
+
+// Fired returns how many injections have triggered.
+func (p *Plan) Fired() int {
+	n := 0
+	for _, inj := range p.Injections {
+		if inj.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Rand returns a deterministic generator for seed, for building seeded
+// plans (trigger offsets, errno choices, delays).
+func Rand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Dispatcher wraps an inner sysabi.Dispatcher with fault injection.
+type Dispatcher struct {
+	role  string
+	inner sysabi.Dispatcher
+	plan  *Plan
+
+	// Calls counts syscalls dispatched through this wrapper.
+	Calls int
+}
+
+// Wrap returns a dispatcher that injects plan's faults targeted at role
+// into the syscall stream of inner.
+func Wrap(role string, inner sysabi.Dispatcher, plan *Plan) *Dispatcher {
+	return &Dispatcher{role: role, inner: inner, plan: plan}
+}
+
+// Role returns the role this dispatcher was wrapped with.
+func (d *Dispatcher) Role() string { return d.role }
+
+// Invoke implements sysabi.Dispatcher: it checks the plan for a due
+// injection, applies at most one, and (except for errno faults, which
+// short-circuit, and crash/stall faults, which never return) forwards
+// the call to the wrapped dispatcher.
+func (d *Dispatcher) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
+	d.Calls++
+	for _, inj := range d.plan.Injections {
+		if inj.fired || (inj.Role != "" && inj.Role != d.role) {
+			continue
+		}
+		if inj.Op != sysabi.OpInvalid && inj.Op != call.Op {
+			continue
+		}
+		if !inj.armed {
+			if inj.When != nil && !inj.When() {
+				continue
+			}
+			inj.armed = true
+		}
+		inj.seen++
+		need := inj.AfterCalls
+		if need < 1 {
+			need = 1
+		}
+		if inj.seen < need {
+			continue
+		}
+		inj.fired = true
+		d.plan.Log = append(d.plan.Log, FiredRecord{
+			At: t.Now(), Role: d.role, Call: call.String(), Inj: inj.String(),
+		})
+		switch inj.Kind {
+		case KindErrno:
+			return sysabi.Result{Err: inj.Errno}
+		case KindDelay:
+			t.Sleep(inj.Delay)
+		case KindCrash:
+			panic(fmt.Sprintf("chaos: injected crash in %s at syscall %d (%s)", d.role, d.Calls, call))
+		case KindStall:
+			// Silent hang: the task never issues another syscall and
+			// never returns. Only Kill (rollback/teardown) unwinds it.
+			var q sim.WaitQueue
+			for {
+				t.Block(&q)
+			}
+		}
+		break // at most one injection per call
+	}
+	return d.inner.Invoke(t, call)
+}

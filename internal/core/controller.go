@@ -22,6 +22,7 @@ import (
 	"mvedsua/internal/dsu"
 	"mvedsua/internal/mve"
 	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
 	"mvedsua/internal/vos"
 )
 
@@ -73,8 +74,14 @@ type Config struct {
 	// controller and overwritten.
 	DSU dsu.Config
 	// RetryInterval re-attempts updates that failed with a quiescence
-	// timeout (§6.2 retried every 500ms). Zero disables retry.
+	// timeout (§6.2 retried every 500ms). Zero disables retry. Retry n
+	// waits RetryInterval × 2^(n-1), capped at RetryMaxInterval, so a
+	// persistently busy service is probed ever more gently.
 	RetryInterval time.Duration
+	// RetryMaxInterval caps the exponential backoff between retries.
+	// Zero defaults to 8× RetryInterval; setting it equal to
+	// RetryInterval restores the paper's fixed-interval behaviour.
+	RetryMaxInterval time.Duration
 	// MaxRetries bounds timing-error retries. Zero means 8, matching the
 	// paper's observed maximum.
 	MaxRetries int
@@ -86,6 +93,52 @@ type Config struct {
 	// Lockstep switches the monitor to the MUC/Mx lockstep model
 	// (comparison baseline only).
 	Lockstep bool
+	// WatchdogDeadline arms the monitor's follower-liveness watchdog: a
+	// follower that consumes no ring-buffer event for this much virtual
+	// time while work is pending raises a stall, which the controller
+	// handles like a divergence. Zero disables the watchdog.
+	WatchdogDeadline time.Duration
+	// BufferFullPolicy selects the leader's behaviour on a full ring
+	// buffer: mve.FullBlock (default) pauses it until the follower
+	// drains — the paper's Figure 7 semantics — while mve.FullDiscard
+	// keeps the leader running and sacrifices the lagging follower.
+	BufferFullPolicy mve.FullPolicy
+	// WrapDispatcher, if non-nil, wraps each process's syscall
+	// dispatcher as the process is created, with its role at creation
+	// time ("leader" or "follower") and its proc name. This is the
+	// sysabi chokepoint hook the chaos layer (internal/chaos) uses to
+	// inject faults without the controller knowing about it.
+	WrapDispatcher func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher
+}
+
+// validate panics on configurations that cannot mean what the caller
+// intended. It runs in New, so a bad config fails loudly at deploy time
+// instead of surfacing as a silent no-retry or a zero-capacity buffer.
+func (cfg Config) validate() {
+	if cfg.BufferEntries < 0 {
+		panic(fmt.Sprintf("core.Config: BufferEntries = %d; must be > 0 (zero selects the default of 256)", cfg.BufferEntries))
+	}
+	if cfg.RetryInterval < 0 {
+		panic(fmt.Sprintf("core.Config: RetryInterval = %v; must be >= 0", cfg.RetryInterval))
+	}
+	if cfg.RetryMaxInterval < 0 {
+		panic(fmt.Sprintf("core.Config: RetryMaxInterval = %v; must be >= 0", cfg.RetryMaxInterval))
+	}
+	if cfg.RetryMaxInterval > 0 && cfg.RetryMaxInterval < cfg.RetryInterval {
+		panic(fmt.Sprintf("core.Config: RetryMaxInterval (%v) below RetryInterval (%v); the backoff cap cannot undercut the base interval", cfg.RetryMaxInterval, cfg.RetryInterval))
+	}
+	if cfg.WatchdogDeadline < 0 {
+		panic(fmt.Sprintf("core.Config: WatchdogDeadline = %v; must be >= 0", cfg.WatchdogDeadline))
+	}
+	if cfg.MaxRetries < 0 {
+		panic(fmt.Sprintf("core.Config: MaxRetries = %d; must be >= 0", cfg.MaxRetries))
+	}
+	if cfg.MaxRetries > 0 && cfg.RetryInterval <= 0 {
+		panic("core.Config: MaxRetries is set but retries are disabled (RetryInterval is zero)")
+	}
+	if cfg.RetryOnRollback && cfg.RetryInterval <= 0 {
+		panic("core.Config: RetryOnRollback requires RetryInterval > 0")
+	}
 }
 
 // Controller is the MVEDSUA orchestrator for one service.
@@ -113,11 +166,15 @@ type Controller struct {
 
 // New builds a controller on the kernel's scheduler.
 func New(kernel *vos.Kernel, cfg Config) *Controller {
+	cfg.validate()
 	if cfg.BufferEntries == 0 {
 		cfg.BufferEntries = 256
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 8
+	}
+	if cfg.RetryMaxInterval == 0 {
+		cfg.RetryMaxInterval = 8 * cfg.RetryInterval
 	}
 	c := &Controller{
 		sched:  kernel.Scheduler(),
@@ -127,8 +184,11 @@ func New(kernel *vos.Kernel, cfg Config) *Controller {
 		stage:  StageSingleLeader,
 	}
 	c.mon.Lockstep = cfg.Lockstep
+	c.mon.WatchdogDeadline = cfg.WatchdogDeadline
+	c.mon.FullPolicy = cfg.BufferFullPolicy
 	c.mon.OnDivergence = c.handleDivergence
 	c.mon.OnPromoted = c.handlePromoted
+	c.mon.OnStall = c.handleStall
 	// Chain with any previously installed crash handler so several
 	// controllers can share one scheduler (e.g. one per cluster node).
 	prev := c.sched.OnCrash
@@ -138,6 +198,16 @@ func New(kernel *vos.Kernel, cfg Config) *Controller {
 		}
 	}
 	return c
+}
+
+// wrapDispatcher applies the configured dispatcher hook (chaos layer)
+// around a freshly created proc. The role reflects the process's role at
+// creation time; it does not change if the process is later promoted.
+func (c *Controller) wrapDispatcher(role string, proc *mve.Proc) sysabi.Dispatcher {
+	if c.cfg.WrapDispatcher == nil {
+		return proc
+	}
+	return c.cfg.WrapDispatcher(role, proc.Name(), proc)
 }
 
 // Monitor exposes the underlying MVE monitor.
@@ -170,7 +240,7 @@ func (c *Controller) Start(app dsu.App) *dsu.Runtime {
 	proc := c.mon.StartSingleLeader(c.procName(app.Version()))
 	cfg := c.cfg.DSU
 	cfg.Name = "leader"
-	cfg.Dispatcher = proc
+	cfg.Dispatcher = c.wrapDispatcher("leader", proc)
 	cfg.ParallelXform = false
 	cfg.TakeUpdate = c.takeUpdate
 	cfg.OnOutcome = c.updateOutcome
@@ -204,7 +274,7 @@ func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) ds
 	proc := c.mon.AttachFollower(c.procName(v.Name), v.Rules)
 	cfg := c.cfg.DSU
 	cfg.Name = "follower"
-	cfg.Dispatcher = proc
+	cfg.Dispatcher = c.wrapDispatcher("follower", proc)
 	cfg.ParallelXform = true
 	cfg.TakeUpdate = nil
 	cfg.OnOutcome = nil
@@ -227,13 +297,44 @@ func (c *Controller) updateOutcome(rec dsu.UpdateRecord) {
 		return
 	}
 	c.retries++
-	n := c.retries
-	c.transition(c.stage, fmt.Sprintf("update %s timed out; retry %d scheduled", rec.Version, n))
-	c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
-		t.Sleep(c.cfg.RetryInterval)
-		if c.pending == v && c.stage == StageSingleLeader {
-			c.leaderRT.RequestUpdate(v)
+	c.scheduleRetry(v, c.retries, "update "+rec.Version+" timed out")
+}
+
+// retryDelay returns the capped exponential backoff before retry n
+// (1-based): RetryInterval × 2^(n-1), clamped to RetryMaxInterval.
+func (c *Controller) retryDelay(n int) time.Duration {
+	d := c.cfg.RetryInterval
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= c.cfg.RetryMaxInterval {
+			return c.cfg.RetryMaxInterval
 		}
+	}
+	if d > c.cfg.RetryMaxInterval {
+		return c.cfg.RetryMaxInterval
+	}
+	return d
+}
+
+// scheduleRetry records retry n of v in the timeline (with its backoff
+// delay, so recovery cadence is auditable) and arms a task that
+// re-requests the update once the delay elapses — unless the controller
+// has moved on in the meantime.
+func (c *Controller) scheduleRetry(v *dsu.Version, n int, why string) {
+	delay := c.retryDelay(n)
+	c.transition(c.stage, fmt.Sprintf("%s; retry %d of %s in %v", why, n, v.Name, delay))
+	c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
+		t.Sleep(delay)
+		if c.stage != StageSingleLeader {
+			return
+		}
+		if c.pending == nil {
+			c.pending = v // reclaim after a rollback cleared it
+		}
+		if c.pending != v {
+			return // a different update superseded this one
+		}
+		c.leaderRT.RequestUpdate(v)
 	})
 }
 
@@ -312,17 +413,29 @@ func (c *Controller) Rollback(reason string) bool {
 	c.transition(StageSingleLeader, "rolled back: "+reason)
 	if c.cfg.RetryOnRollback && v != nil && c.cfg.RetryInterval > 0 && c.retries < c.cfg.MaxRetries {
 		c.retries++
-		n := c.retries
-		c.transition(c.stage, fmt.Sprintf("retry %d of %s scheduled after rollback", n, v.Name))
-		c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
-			t.Sleep(c.cfg.RetryInterval)
-			if c.stage == StageSingleLeader && c.pending == nil {
-				c.pending = v
-				c.leaderRT.RequestUpdate(v)
-			}
-		})
+		c.scheduleRetry(v, c.retries, "rollback")
 	}
 	return true
+}
+
+// handleStall reacts to the monitor's liveness signals. A follower that
+// stopped consuming events — hung (watchdog) or hopelessly lagging
+// (discard policy) — is as unusable as one that produced wrong ones, so
+// the stall is handled exactly like a divergence in the same stage, and
+// the outcome lands in the timeline.
+func (c *Controller) handleStall(st mve.Stall) {
+	switch c.stage {
+	case StageOutdatedLeader, StagePromoting:
+		c.Rollback("stall: " + st.String())
+	case StageUpdatedLeader:
+		if c.otherRT != nil {
+			c.otherRT.KillAll()
+		}
+		c.mon.DropFollower()
+		c.otherRT = nil
+		c.pending = nil
+		c.transition(StageSingleLeader, "outdated follower stalled ("+st.Reason+"); committed")
+	}
 }
 
 // handleDivergence reacts to MVE divergences according to the stage:
@@ -341,6 +454,26 @@ func (c *Controller) handleDivergence(d mve.Divergence) {
 		c.otherRT = nil
 		c.pending = nil
 		c.transition(StageSingleLeader, "outdated follower diverged; committed "+d.Proc)
+	}
+}
+
+// reapCrashed finishes off a crashed-but-promoted-away runtime: a crash
+// is process-fatal, so threads that survived the crashing one (e.g. a
+// multithreaded server losing one worker) die with the process. Once
+// nothing of it is left to validate against, the promotion commits —
+// without this, the demoted remnant wedges validation behind its dead
+// threads' events and eventually stalls the new leader on a full
+// buffer.
+func (c *Controller) reapCrashed(t *sim.Task, rt *dsu.Runtime) {
+	rt.KillAll()
+	// Killed tasks unwind when next scheduled; wait until the runtime is
+	// really empty so the commit check (here or in handlePromoted,
+	// whichever runs second) sees the truth.
+	for rt.LiveThreads() > 0 {
+		t.Yield()
+	}
+	if c.stage == StageUpdatedLeader && c.otherRT == rt {
+		c.Commit()
 	}
 }
 
@@ -365,9 +498,14 @@ func (c *Controller) handleCrash(info sim.CrashInfo) bool {
 	case c.taskBelongs(c.leaderRT, info) && c.stage == StageOutdatedLeader:
 		// The old version crashed while leading — likely an old-version
 		// bug fixed by the update: promote the new version (§3.2
-		// "handling old-version errors").
+		// "handling old-version errors"). The crashed leader's stream may
+		// be truncated mid-request; the monitor must not read the cut as
+		// a divergence and roll back to a corpse.
+		c.mon.MarkLeaderCrashed()
+		rt := c.leaderRT
 		c.sched.Go("promote-on-crash", func(t *sim.Task) {
 			c.mon.PromoteNow(t)
+			c.reapCrashed(t, rt)
 		})
 		c.transition(StagePromoting, fmt.Sprintf("leader crashed (%v); promoting follower", info.Value))
 		handled = true
@@ -377,8 +515,11 @@ func (c *Controller) handleCrash(info sim.CrashInfo) bool {
 		// so promote it back — the update is effectively rolled back
 		// with no state loss (the symmetric case of §3.2's old-version
 		// recovery).
+		c.mon.MarkLeaderCrashed()
+		rt := c.leaderRT
 		c.sched.Go("revert-on-crash", func(t *sim.Task) {
 			c.mon.PromoteNow(t)
+			c.reapCrashed(t, rt)
 		})
 		c.transition(StagePromoting, fmt.Sprintf("new leader crashed (%v); reverting to old version", info.Value))
 		handled = true

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"mvedsua/internal/chaos"
 	"mvedsua/internal/dsl"
 	"mvedsua/internal/dsu"
+	"mvedsua/internal/mve"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 	"mvedsua/internal/vos"
@@ -473,5 +475,332 @@ func TestStageString(t *testing.T) {
 		if st.String() != want {
 			t.Errorf("%d.String() = %q", st, st.String())
 		}
+	}
+}
+
+func TestConfigValidationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative buffer", Config{BufferEntries: -1}, "BufferEntries"},
+		{"negative retry interval", Config{RetryInterval: -time.Second}, "RetryInterval"},
+		{"negative retry cap", Config{RetryMaxInterval: -1}, "RetryMaxInterval"},
+		{"cap below base", Config{RetryInterval: time.Second, RetryMaxInterval: time.Millisecond}, "cannot undercut"},
+		{"negative watchdog", Config{WatchdogDeadline: -1}, "WatchdogDeadline"},
+		{"negative max retries", Config{MaxRetries: -2}, "MaxRetries"},
+		{"retries without interval", Config{MaxRetries: 3}, "retries are disabled"},
+		{"rollback retry without interval", Config{RetryOnRollback: true}, "RetryOnRollback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("New accepted an invalid config")
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, tc.want) {
+					t.Fatalf("panic = %v, want substring %q", r, tc.want)
+				}
+			}()
+			New(vos.NewKernel(sim.New()), tc.cfg)
+		})
+	}
+	// The zero config stays valid and picks up the documented defaults.
+	c := New(vos.NewKernel(sim.New()), Config{})
+	if c.cfg.BufferEntries != 256 || c.cfg.MaxRetries != 8 {
+		t.Fatalf("defaults = %+v", c.cfg)
+	}
+}
+
+// TestRollbackSafeFromEveryStage drives the lifecycle to each stage and
+// checks Rollback is accepted exactly where Figure 2 allows it — and
+// that a rejected Rollback (double rollback, rollback after commit)
+// leaves the controller undisturbed.
+func TestRollbackSafeFromEveryStage(t *testing.T) {
+	cases := []struct {
+		name    string
+		hooks   func(t *testing.T, h *harness) map[int]func(*sim.Task)
+		final   Stage
+		version string // leader app version at the end
+	}{
+		{
+			name: "single-leader",
+			hooks: func(t *testing.T, h *harness) map[int]func(*sim.Task) {
+				return map[int]func(*sim.Task){
+					2: func(tk *sim.Task) {
+						if h.c.Rollback("nothing to roll back") {
+							t.Error("Rollback accepted with no update in flight")
+						}
+					},
+				}
+			},
+			final: StageSingleLeader, version: "v1",
+		},
+		{
+			name: "outdated-leader-and-double-rollback",
+			hooks: func(t *testing.T, h *harness) map[int]func(*sim.Task) {
+				return map[int]func(*sim.Task){
+					1: func(tk *sim.Task) { h.c.Update(upgrade(nil, nil)) },
+					3: func(tk *sim.Task) {
+						if !h.c.Rollback("first") {
+							t.Error("Rollback rejected in outdated-leader stage")
+						}
+						if h.c.Rollback("second") {
+							t.Error("double Rollback accepted")
+						}
+					},
+				}
+			},
+			final: StageSingleLeader, version: "v1",
+		},
+		{
+			name: "promoting",
+			hooks: func(t *testing.T, h *harness) map[int]func(*sim.Task) {
+				return map[int]func(*sim.Task){
+					1: func(tk *sim.Task) { h.c.Update(upgrade(nil, nil)) },
+					3: func(tk *sim.Task) {
+						if !h.c.Promote() {
+							t.Error("Promote rejected")
+						}
+						if h.c.Stage() != StagePromoting {
+							t.Errorf("stage after Promote = %v", h.c.Stage())
+						}
+						// The demotion barrier has not run yet: rollback
+						// must still win the race cleanly.
+						if !h.c.Rollback("changed my mind mid-promotion") {
+							t.Error("Rollback rejected in promoting stage")
+						}
+					},
+				}
+			},
+			final: StageSingleLeader, version: "v1",
+		},
+		{
+			name: "updated-leader-rejects-rollback",
+			hooks: func(t *testing.T, h *harness) map[int]func(*sim.Task) {
+				return map[int]func(*sim.Task){
+					1: func(tk *sim.Task) { h.c.Update(upgrade(nil, nil)) },
+					3: func(tk *sim.Task) { h.c.Promote() },
+					6: func(tk *sim.Task) {
+						if h.c.Stage() != StageUpdatedLeader {
+							t.Errorf("stage = %v, want updated-leader", h.c.Stage())
+						}
+						if h.c.Rollback("too late, new version leads") {
+							t.Error("Rollback accepted after promotion; use crash-revert instead")
+						}
+					},
+				}
+			},
+			final: StageUpdatedLeader, version: "v2",
+		},
+		{
+			name: "after-commit-rejects-rollback",
+			hooks: func(t *testing.T, h *harness) map[int]func(*sim.Task) {
+				return map[int]func(*sim.Task){
+					1: func(tk *sim.Task) { h.c.Update(upgrade(nil, nil)) },
+					3: func(tk *sim.Task) { h.c.Promote() },
+					6: func(tk *sim.Task) {
+						if !h.c.Commit() {
+							t.Error("Commit rejected")
+						}
+						if h.c.Rollback("after commit") {
+							t.Error("Rollback accepted after Commit")
+						}
+					},
+				}
+			},
+			final: StageSingleLeader, version: "v2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(Config{})
+			h.c.Start(&srv{version: "v1"})
+			h.client(8, tc.hooks(t, h))
+			h.run(t)
+			if h.c.Stage() != tc.final {
+				t.Fatalf("final stage = %v, want %v\ntimeline: %+v", h.c.Stage(), tc.final, h.c.Timeline())
+			}
+			if got := h.c.LeaderRuntime().App().Version(); got != tc.version {
+				t.Fatalf("leader version = %s, want %s", got, tc.version)
+			}
+			// Every request got a reply regardless of where the rollback
+			// landed: no client-visible failures.
+			if len(h.replies) != 8 {
+				t.Fatalf("replies = %v", h.replies)
+			}
+			for _, r := range h.replies {
+				if r == "" {
+					t.Fatalf("empty reply in %v", h.replies)
+				}
+			}
+		})
+	}
+}
+
+func TestRetryDelaySequence(t *testing.T) {
+	c := New(vos.NewKernel(sim.New()), Config{
+		RetryInterval:    100 * time.Millisecond,
+		RetryMaxInterval: 400 * time.Millisecond,
+	})
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := c.retryDelay(i + 1); got != w {
+			t.Errorf("retryDelay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Default cap is 8x the base interval.
+	c2 := New(vos.NewKernel(sim.New()), Config{RetryInterval: 100 * time.Millisecond})
+	if got := c2.retryDelay(10); got != 800*time.Millisecond {
+		t.Errorf("default-cap retryDelay(10) = %v, want 800ms", got)
+	}
+}
+
+// TestBackoffRetrySchedule holds quiescence hostage long enough for four
+// retries and asserts both the advertised backoff delays (timeline
+// notes) and the actual virtual-clock spacing between attempts:
+// consecutive failures are separated by exactly backoff + quiesce
+// timeout. Fully deterministic — this is the acceptance check for the
+// capped exponential backoff.
+func TestBackoffRetrySchedule(t *testing.T) {
+	quiesce := 50 * time.Millisecond
+	h := newHarness(Config{
+		RetryInterval:    100 * time.Millisecond,
+		RetryMaxInterval: 400 * time.Millisecond,
+		DSU:              dsu.Config{QuiesceTimeout: quiesce},
+	})
+	var lock sim.WaitQueue
+	h.c.Start(&srv{version: "v1", blockedWorker: &lock})
+	h.s.Go("lock-releaser", func(tk *sim.Task) {
+		tk.Sleep(1600 * time.Millisecond)
+		for i := 0; i < 800; i++ {
+			lock.WakeAll(h.s)
+			tk.Sleep(5 * time.Millisecond)
+			if h.done {
+				return
+			}
+		}
+	})
+	v2 := upgrade(nil, nil)
+	h.client(220, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	if h.c.Stage() != StageOutdatedLeader {
+		t.Fatalf("stage = %v; update never installed (retries=%d)\ntimeline: %+v",
+			h.c.Stage(), h.c.Retries(), h.c.Timeline())
+	}
+	var delays []string
+	var failedAt []time.Duration
+	for _, ev := range h.c.Timeline() {
+		if i := strings.Index(ev.Note, " in "); i >= 0 && strings.Contains(ev.Note, "retry ") {
+			delays = append(delays, ev.Note[i+4:])
+			failedAt = append(failedAt, ev.At)
+		}
+	}
+	wantDelays := []string{"100ms", "200ms", "400ms", "400ms"}
+	if len(delays) < len(wantDelays) {
+		t.Fatalf("only %d retries recorded: %v", len(delays), delays)
+	}
+	for i, w := range wantDelays {
+		if delays[i] != w {
+			t.Fatalf("retry %d advertised delay %q, want %q (all: %v)", i+1, delays[i], w, delays)
+		}
+	}
+	// Attempt n+1 fails exactly backoff(n) + quiesce-timeout after
+	// attempt n failed.
+	wantGaps := []time.Duration{100, 200, 400}
+	for i, base := range wantGaps {
+		want := base*time.Millisecond + quiesce
+		if got := failedAt[i+1] - failedAt[i]; got != want {
+			t.Fatalf("gap between retry %d and %d = %v, want %v", i+1, i+2, got, want)
+		}
+	}
+}
+
+// TestChaosStallRollsBackViaWatchdog wires the chaos layer through
+// Config.WrapDispatcher: the follower freezes mid-validation, the
+// liveness watchdog notices within its deadline, and the controller
+// rolls the update back with zero client-visible effect.
+func TestChaosStallRollsBackViaWatchdog(t *testing.T) {
+	plan := chaos.NewPlan(&chaos.Injection{Role: "follower", AfterCalls: 3, Kind: chaos.KindStall})
+	h := newHarness(Config{
+		WatchdogDeadline: 40 * time.Millisecond,
+		WrapDispatcher: func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+			return chaos.Wrap(role, d, plan)
+		},
+	})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(10, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	if plan.Fired() != 1 {
+		t.Fatalf("plan fired %d injections, want 1 (%v)", plan.Fired(), plan.Log)
+	}
+	want := "1,2,3,4,5,6,7,8,9,10"
+	if strings.Join(h.replies, ",") != want {
+		t.Fatalf("replies = %v (stall leaked to clients)", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	if h.c.Monitor().Stats.Stalls != 1 {
+		t.Fatalf("Stalls = %d", h.c.Monitor().Stats.Stalls)
+	}
+	found := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "rolled back: stall: ") && strings.Contains(ev.Note, "no progress") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline missing stall rollback: %+v", h.c.Timeline())
+	}
+}
+
+// TestChaosStallWithDiscardPolicy covers the other full-buffer policy:
+// no watchdog, a tiny ring, and a frozen follower. The leader's failed
+// TryAppend raises the buffer-full stall, the follower is sacrificed,
+// and the leader never blocks.
+func TestChaosStallWithDiscardPolicy(t *testing.T) {
+	plan := chaos.NewPlan(&chaos.Injection{Role: "follower", AfterCalls: 1, Kind: chaos.KindStall})
+	h := newHarness(Config{
+		BufferEntries:    4,
+		BufferFullPolicy: mve.FullDiscard,
+		WrapDispatcher: func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+			return chaos.Wrap(role, d, plan)
+		},
+	})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(10, map[int]func(*sim.Task){
+		1: func(tk *sim.Task) { h.c.Update(v2) },
+	})
+	h.run(t)
+	want := "1,2,3,4,5,6,7,8,9,10"
+	if strings.Join(h.replies, ",") != want {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	if h.c.Monitor().Buffer().ProducerBlocked != 0 {
+		t.Fatalf("ProducerBlocked = %d, want 0 under FullDiscard", h.c.Monitor().Buffer().ProducerBlocked)
+	}
+	found := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "rolled back: stall: ") && strings.Contains(ev.Note, "ring buffer full") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline missing buffer-full rollback: %+v", h.c.Timeline())
 	}
 }

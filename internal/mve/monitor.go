@@ -80,6 +80,57 @@ type Costs struct {
 	LockstepSync time.Duration
 }
 
+// FullPolicy selects what the leader does when the ring buffer is full:
+// the paper's default is to block until the follower drains entries
+// (reintroducing the Figure 7 pause once the buffer is undersized), but
+// a production deployment can instead discard the lagging follower so
+// the update degrades rather than the service (§3.3's "followers that
+// lag too far behind the leader are discarded").
+type FullPolicy int
+
+// Full-buffer policies.
+const (
+	// FullBlock parks the leader until the follower frees a slot.
+	FullBlock FullPolicy = iota
+	// FullDiscard raises a Stall (reason "buffer-full") instead of
+	// blocking; the controller reacts by dropping the follower.
+	FullDiscard
+)
+
+// String returns the policy name.
+func (p FullPolicy) String() string {
+	switch p {
+	case FullBlock:
+		return "block"
+	case FullDiscard:
+		return "discard-follower"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Stall describes a follower that stopped consuming the event stream —
+// the non-crashing failure class (infinite loops, silent hangs) that
+// timeout-based detection catches where divergence checking cannot
+// (§3.3, §6.2 "some DSU errors cause the program to hang").
+type Stall struct {
+	Proc   string
+	Reason string // "no-progress" (watchdog) or "buffer-full" (discard policy)
+	// Stalled is how long the follower made no progress (no-progress
+	// stalls; zero for buffer-full).
+	Stalled time.Duration
+	// Pending is the ring-buffer occupancy at detection time.
+	Pending int
+}
+
+// String formats the stall for logs.
+func (st Stall) String() string {
+	if st.Reason == "buffer-full" {
+		return fmt.Sprintf("stall in %s: ring buffer full (%d pending)", st.Proc, st.Pending)
+	}
+	return fmt.Sprintf("stall in %s: no progress for %v (%d pending)", st.Proc, st.Stalled, st.Pending)
+}
+
 // Divergence describes a follower syscall that did not match the
 // (rewritten) leader stream.
 type Divergence struct {
@@ -108,6 +159,8 @@ type Stats struct {
 	Rewritten int64
 	// Promotions counts completed leader/follower swaps.
 	Promotions int64
+	// Stalls counts follower stalls raised (watchdog or buffer-full).
+	Stalls int64
 }
 
 // Monitor coordinates the two version processes.
@@ -123,6 +176,23 @@ type Monitor struct {
 	// Lockstep forces the leader to wait for the follower after every
 	// recorded event, reproducing the MUC/Mx baseline's behaviour.
 	Lockstep bool
+
+	// FullPolicy selects the leader's behaviour on a full ring buffer.
+	// The zero value (FullBlock) preserves the paper's semantics.
+	FullPolicy FullPolicy
+
+	// WatchdogDeadline, when positive, arms a follower-liveness watchdog:
+	// a follower that consumes no events for this much virtual time while
+	// work is pending raises a Stall. Zero disables the watchdog. The
+	// deadline must comfortably exceed the per-event Replay cost, or a
+	// merely-slow follower is mistaken for a hung one.
+	WatchdogDeadline time.Duration
+
+	// OnStall is invoked when the watchdog declares a follower hung or
+	// the discard policy hits a full buffer. The handler decides what to
+	// do (MVEDSUA's controller rolls the update back); with no handler
+	// the stall is only logged and counted.
+	OnStall func(Stall)
 
 	// OnDivergence is invoked (from the follower's task) when the
 	// follower diverges. The follower then parks until killed; the
@@ -201,8 +271,17 @@ type Proc struct {
 	globalNext  uint64                 // next raw seq to retire (leader order)
 	retired     map[uint64]bool        // raw seqs retired ahead of globalNext
 
+	// crashPromote marks a promotion forced by a leader crash: the
+	// recorded stream is trusted only up to the crash point, so the
+	// first mismatch is the truncation point, not a divergence.
+	crashPromote bool
+
 	diverged bool
 	kstate   KernelState
+
+	// progress counts consumption steps (buffer pulls and validated
+	// events) while this proc follows; the liveness watchdog samples it.
+	progress int64
 
 	// Syscalls counts calls dispatched through this proc.
 	Syscalls int
@@ -322,7 +401,56 @@ func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
 	m.follower = f
 	m.leader.role = RoleLeader
 	m.logf("%s attached as follower of %s (buffer %d entries)", name, m.leader.name, m.buf.Cap())
+	m.startWatchdog(f)
 	return f
+}
+
+// startWatchdog arms a liveness watchdog over follower f: if f consumes
+// no events for WatchdogDeadline of virtual time while entries are
+// pending, the watchdog raises a Stall and exits. The watchdog also
+// exits silently once f stops being the follower (promotion, rollback,
+// commit), so each leader/follower pairing carries its own watchdog.
+func (m *Monitor) startWatchdog(f *Proc) {
+	if m.WatchdogDeadline <= 0 {
+		return
+	}
+	deadline := m.WatchdogDeadline
+	poll := deadline / 8
+	if poll <= 0 {
+		poll = deadline
+	}
+	m.sched.Go("mve/watchdog:"+f.name, func(t *sim.Task) {
+		last := f.progress
+		lastAt := t.Now()
+		for {
+			t.Sleep(poll)
+			if m.follower != f || f.role != RoleFollower || m.buf.Closed() {
+				return
+			}
+			if f.progress != last {
+				last, lastAt = f.progress, t.Now()
+				continue
+			}
+			if m.buf.Empty() && f.queuesEmpty() {
+				// Nothing to consume: an idle follower is not stalled.
+				lastAt = t.Now()
+				continue
+			}
+			if stalled := t.Now() - lastAt; stalled >= deadline {
+				m.raiseStall(Stall{Proc: f.name, Reason: "no-progress", Stalled: stalled, Pending: m.buf.Len()})
+				return
+			}
+		}
+	})
+}
+
+// raiseStall records and dispatches a follower stall.
+func (m *Monitor) raiseStall(st Stall) {
+	m.Stats.Stalls++
+	m.logf("%s", st)
+	if m.OnStall != nil {
+		m.OnStall(st)
+	}
 }
 
 // Leader returns the current leader proc.
@@ -340,6 +468,19 @@ func (m *Monitor) RequestPromote() {
 	}
 	m.promoteRequested = true
 	m.logf("promotion requested")
+}
+
+// MarkLeaderCrashed flags the pending promotion as crash-driven: the
+// dead leader's recorded stream may end mid-request, so the follower
+// replays the matching prefix for state catch-up and treats the first
+// mismatch as the truncation point instead of a divergence (§3.2,
+// "handling old-version errors"). Call synchronously from the crash
+// handler, before scheduling PromoteNow, so the follower cannot observe
+// the truncated tail first.
+func (m *Monitor) MarkLeaderCrashed() {
+	if m.follower != nil {
+		m.follower.crashPromote = true
+	}
 }
 
 // PromoteNow appends the promotion event on behalf of a leader that can
@@ -461,8 +602,28 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 	res := p.m.kernel.Invoke(t, call)
 	p.trackKernelState(call, res)
 	ev := sysabi.Event{Call: call.Clone(), Result: res.Clone()}
-	p.m.buf.PutEvent(t, ev)
-	p.m.Stats.Recorded++
+	if p.m.FullPolicy == FullDiscard {
+		if !p.m.buf.TryAppend(ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev}) {
+			// The follower lags too far behind: degrade the update, not
+			// the service. The stall handler (controller) drops the
+			// follower; the leader proceeds with its result regardless.
+			if p.m.follower != nil && !p.m.buf.Closed() {
+				p.m.raiseStall(Stall{Proc: p.m.follower.name, Reason: "buffer-full", Pending: p.m.buf.Len()})
+			}
+			return res
+		}
+		p.m.Stats.Recorded++
+		return res
+	}
+	// Blocking policy: Put parks the leader on a full buffer. It reports
+	// false only if the buffer was closed underneath us — the watchdog
+	// rescued a leader blocked behind a hung follower — in which case the
+	// event is dropped along with the follower.
+	if p.m.buf.PutEvent(t, ev) {
+		p.m.Stats.Recorded++
+	} else {
+		return res
+	}
 	if p.m.Lockstep {
 		if p.m.costs.LockstepSync > 0 {
 			t.Advance(p.m.costs.LockstepSync)
@@ -514,6 +675,7 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		exp = g.events[g.idx]
 		g.idx++
 		p.m.Stats.Replayed++
+		p.progress++
 		if g.idx >= len(g.events) {
 			p.expByTID[tid] = p.expByTID[tid][1:]
 			for _, s := range g.seqs {
@@ -528,6 +690,18 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		break
 	}
 	if reason, ok := compare(exp, call); !ok {
+		if p.crashPromote {
+			// The leader died mid-request: its stream is valid only up to
+			// the crash point, and this mismatch is where the truncation
+			// bites. Discard the garbage tail, complete the promotion, and
+			// re-dispatch the in-flight call natively.
+			p.m.logf("%s: crashed leader's stream truncated at #%d (%s); promoting", p.name, exp.Seq, reason)
+			p.discardTail(t, tid)
+			if p.role == RoleFollower {
+				p.becomeLeader()
+			}
+			return sysabi.Result{}, true
+		}
 		d := Divergence{Proc: p.name, Seq: exp.Seq, Expected: exp, Got: call.Clone(), Reason: reason}
 		p.diverged = true
 		p.m.divergences = append(p.m.divergences, d)
@@ -595,6 +769,7 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 		p.pulling = true
 		e, ok := p.m.buf.Get(t)
 		p.pulling = false
+		p.progress++
 		if !ok {
 			// Buffer closed: the duo is being torn down. Wake peers so
 			// they observe the teardown too, then park.
@@ -618,6 +793,41 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 	}
 }
 
+// discardTail drops everything still queued for validation and then
+// consumes (and discards) buffer entries up to the promotion event.
+// Only meaningful during a crash promotion: the entries past the crash
+// point are garbage, but they must be drained — an entry left behind
+// would be misread by the demoted process once roles swap. Respects the
+// one-puller discipline, so it composes with sibling follower threads
+// blocked in fillExpected.
+func (p *Proc) discardTail(t *sim.Task, tid int) {
+	for !p.promoteSeen {
+		if p.role != RoleFollower {
+			return // a sibling completed the switch already
+		}
+		if p.pulling {
+			t.Block(p.waitFor(tid))
+			continue
+		}
+		p.pulling = true
+		e, ok := p.m.buf.Get(t)
+		p.pulling = false
+		if !ok {
+			// Buffer closed underneath us: rollback/teardown won the race.
+			p.wakeAllTIDs()
+			p.parkForever(t)
+		}
+		if e.Kind == ringbuf.KindPromote {
+			p.promoteSeen = true
+		}
+		// Raw syscall events past the crash point are dropped unreplayed.
+	}
+	p.rawByTID = make(map[int][]sysabi.Event)
+	p.expByTID = make(map[int][]*expGroup)
+	p.retired = make(map[uint64]bool)
+	p.wakeAllTIDs()
+}
+
 func (p *Proc) becomeLeader() {
 	m := p.m
 	m.logf("%s promoted to leader", p.name)
@@ -626,6 +836,7 @@ func (p *Proc) becomeLeader() {
 	m.follower = old
 	p.role = RoleLeader
 	p.promoteSeen = false
+	p.crashPromote = false
 	p.wakeAllTIDs()
 	// The demoted process validates the new leader's stream with no
 	// rewrite rules unless the controller installed a reverse set.
@@ -634,6 +845,12 @@ func (p *Proc) becomeLeader() {
 	}
 	m.promoWait.WakeAll(m.sched)
 	m.Stats.Promotions++
+	// The demoted process now consumes the stream; it gets its own
+	// liveness watchdog (the previous one retires when it observes the
+	// role swap).
+	if old != nil {
+		m.startWatchdog(old)
+	}
 	if m.OnPromoted != nil {
 		m.OnPromoted(p)
 	}

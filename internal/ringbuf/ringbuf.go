@@ -123,6 +123,27 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 	return true
 }
 
+// TryAppend appends an entry without ever blocking: it reports false if
+// the buffer is full or closed, leaving the entry unrecorded. This is
+// the producer side of the discard-follower policy — instead of parking
+// the leader behind a lagging follower, the monitor observes the failed
+// append and drops the follower (the dMVX-style degradation path).
+func (b *Buffer) TryAppend(e Entry) bool {
+	if b.closed || b.Full() {
+		return false
+	}
+	if e.Kind == KindSyscall {
+		e.Event.Seq = b.seq
+		b.seq++
+	}
+	b.q = append(b.q, e)
+	if n := len(b.q); n > b.HighWater {
+		b.HighWater = n
+	}
+	b.notEmpty.WakeAll(b.sched)
+	return true
+}
+
 // PutEvent is a convenience wrapper recording a syscall event.
 func (b *Buffer) PutEvent(t *sim.Task, ev sysabi.Event) bool {
 	return b.Put(t, Entry{Kind: KindSyscall, Event: ev})

@@ -3,6 +3,7 @@ package ringbuf
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
@@ -91,6 +92,115 @@ func TestProducerBlocksWhenFull(t *testing.T) {
 	}
 	if produced != 5 {
 		t.Fatalf("produced = %d, want 5", produced)
+	}
+}
+
+// TestProducerStaysBlockedUntilDrained pins down the blocking contract
+// the full-buffer policy relies on: a producer on a full buffer stays
+// parked — through arbitrary virtual time — until the consumer drains a
+// slot, and its pending entry is never lost or reordered.
+func TestProducerStaysBlockedUntilDrained(t *testing.T) {
+	s := sim.New()
+	b := New(s, 1)
+	var produced []string
+	s.Go("producer", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "first"))
+		produced = append(produced, "first")
+		b.PutEvent(tk, ev(sysabi.OpWrite, "second")) // blocks: full
+		produced = append(produced, "second")
+	})
+	var got []string
+	s.Go("consumer", func(tk *sim.Task) {
+		// Let a lot of virtual time pass while the producer is parked.
+		tk.Sleep(10 * time.Second)
+		if len(produced) != 1 {
+			t.Errorf("produced = %v while buffer full, want just [first]", produced)
+		}
+		if b.ProducerBlocked == 0 {
+			t.Error("ProducerBlocked not counted")
+		}
+		for i := 0; i < 2; i++ {
+			e, ok := b.Get(tk)
+			if !ok {
+				t.Fatalf("Get %d failed", i)
+			}
+			got = append(got, string(e.Event.Call.Buf))
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestTryAppendNeverBlocks(t *testing.T) {
+	s := sim.New()
+	b := New(s, 2)
+	s.Go("t", func(tk *sim.Task) {
+		if !b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "a")}) {
+			t.Error("TryAppend on empty buffer failed")
+		}
+		if !b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "b")}) {
+			t.Error("TryAppend on non-full buffer failed")
+		}
+		// Full: must report false immediately, without blocking the task.
+		if b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "c")}) {
+			t.Error("TryAppend on full buffer succeeded")
+		}
+		if b.Len() != 2 {
+			t.Errorf("Len = %d after rejected append", b.Len())
+		}
+		// Sequence numbers are only consumed by accepted entries.
+		e, _ := b.Get(tk)
+		if e.Event.Seq != 0 {
+			t.Errorf("first seq = %d", e.Event.Seq)
+		}
+		if !b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "d")}) {
+			t.Error("TryAppend after drain failed")
+		}
+		e, _ = b.Get(tk)
+		if string(e.Event.Call.Buf) != "b" || e.Event.Seq != 1 {
+			t.Errorf("second entry = %q seq %d", e.Event.Call.Buf, e.Event.Seq)
+		}
+		e, _ = b.Get(tk)
+		if string(e.Event.Call.Buf) != "d" || e.Event.Seq != 2 {
+			t.Errorf("third entry = %q seq %d", e.Event.Call.Buf, e.Event.Seq)
+		}
+		b.Close()
+		if b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "e")}) {
+			t.Error("TryAppend on closed buffer succeeded")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTryAppendWakesConsumer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	var got string
+	s.Go("consumer", func(tk *sim.Task) {
+		e, ok := b.Get(tk) // blocks: empty
+		if !ok {
+			t.Error("Get failed")
+			return
+		}
+		got = string(e.Event.Call.Buf)
+	})
+	s.Go("producer", func(tk *sim.Task) {
+		tk.Yield() // let the consumer park first
+		if !b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "w")}) {
+			t.Error("TryAppend failed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "w" {
+		t.Fatalf("consumer got %q", got)
 	}
 }
 
