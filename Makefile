@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench experiments examples clean
+.PHONY: all build test vet check metrics-smoke bench bench-metrics experiments examples clean
 
 all: check
 
@@ -16,9 +16,27 @@ test:
 	$(GO) test ./...
 
 # Tier-1 verification: vet plus the full suite under the race detector,
-# which exercises the watchdog/monitor task interplay for data races.
+# which exercises the watchdog/monitor task interplay for data races,
+# then the benchtool metrics smoke run.
 check: vet
 	$(GO) test -race ./...
+	$(MAKE) metrics-smoke
+
+# Smoke-run the flight recorder: emit a metrics report, validate it
+# against the golden schema, and require it to be bit-identical to the
+# committed BENCH_metrics.json artifact (the runs are virtual-time
+# deterministic; regenerate with `make bench-metrics` after intentional
+# instrumentation changes).
+metrics-smoke:
+	$(GO) run ./cmd/benchtool -experiment metrics -json .bench_metrics_smoke.json >/dev/null
+	$(GO) run ./cmd/benchtool -validate .bench_metrics_smoke.json
+	diff -u BENCH_metrics.json .bench_metrics_smoke.json || \
+		{ echo "BENCH_metrics.json is stale; run 'make bench-metrics' to regenerate"; rm -f .bench_metrics_smoke.json; exit 1; }
+	rm -f .bench_metrics_smoke.json
+
+# Regenerate the committed flight-recorder artifact.
+bench-metrics:
+	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
 
 # One testing.B bench per paper table/figure, plus ablations.
 bench:

@@ -7,7 +7,15 @@
 //	benchtool -experiment faults   # §6.2 fault-tolerance runs
 //	benchtool -experiment chaos    # seeded fault matrix (§6.2 extended)
 //	benchtool -experiment rolling  # rolling-upgrade comparison (§1.1 extension)
+//	benchtool -experiment metrics  # flight-recorder export (docs/OBSERVABILITY.md)
 //	benchtool -experiment all      # everything
+//
+// The metrics experiment emits a machine-readable report; -json writes
+// it to a file and -validate checks an existing report against the
+// golden schema:
+//
+//	benchtool -experiment metrics -json BENCH_metrics.json
+//	benchtool -validate BENCH_metrics.json
 //
 // All measurements run in deterministic virtual time; see DESIGN.md for
 // the substitution rationale and internal/bench/costmodel.go for the
@@ -15,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,10 +34,24 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|all")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
+	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
+	validate := flag.String("validate", "", "validate a metrics-report JSON file against the golden schema and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.ValidateMetricsReport(data, bench.MetricsSchemaJSON); err != nil {
+			fail(fmt.Errorf("%s: %w", *validate, err))
+		}
+		fmt.Printf("%s: valid %s report\n", *validate, bench.MetricsSchemaID)
+		return
+	}
 
 	run := func(name string) bool { return *experiment == name || *experiment == "all" }
 	start := time.Now()
@@ -75,6 +98,27 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(rolling.FormatComparison(results))
+	}
+	if run("metrics") {
+		report, err := bench.RunMetricsReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatMetricsReport(report))
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			if err := bench.ValidateMetricsReport(data, bench.MetricsSchemaJSON); err != nil {
+				fail(fmt.Errorf("emitted report failed schema validation: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (schema-valid %s)\n", *jsonOut, bench.MetricsSchemaID)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())
 }

@@ -12,6 +12,12 @@
 //	mvedsua -app redis -fault stall        # hung follower -> watchdog rollback
 //	mvedsua -app memcached -fault timing   # missing LibEvent reset -> retries
 //	mvedsua -app cluster                   # rolling upgrade vs MVEDSUA (§1.1)
+//
+// Observability (docs/OBSERVABILITY.md):
+//
+//	mvedsua -app redis -trace              # update-lifecycle timeline
+//	mvedsua -app redis -trace-all          # full trace incl. per-syscall events
+//	mvedsua -app redis -metrics            # flight-recorder counters/histograms
 package main
 
 import (
@@ -32,6 +38,12 @@ import (
 	"mvedsua/internal/rolling"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
+)
+
+var (
+	traceFlag    = flag.Bool("trace", false, "print the flight-recorder lifecycle timeline (milestone events)")
+	traceAllFlag = flag.Bool("trace-all", false, "print the full flight-recorder trace, including per-syscall hot events")
+	metricsFlag  = flag.Bool("metrics", false, "print flight-recorder metrics (counters, gauges, latency histograms)")
 )
 
 func main() {
@@ -74,6 +86,16 @@ func report(w *apptest.World) {
 		for _, dv := range d {
 			fmt.Println("  " + dv.String())
 		}
+	}
+	if *traceFlag || *traceAllFlag {
+		fmt.Println("\nflight recorder trace:")
+		fmt.Print(indent(w.Rec.FormatTimeline(!*traceAllFlag)))
+		fmt.Println()
+	}
+	if *metricsFlag {
+		fmt.Println("\nflight recorder metrics:")
+		fmt.Print(indent(w.Rec.FormatMetrics()))
+		fmt.Println()
 	}
 }
 
@@ -122,6 +144,7 @@ func demoTKV() error {
 func demoRedis(fault string) error {
 	opts := kvstore.UpdateOpts{PerEntryXform: time.Microsecond}
 	cfg := core.Config{}
+	var plan *chaos.Plan
 	switch fault {
 	case "newcode":
 		opts.BugHMGET = true
@@ -132,7 +155,7 @@ func demoRedis(fault string) error {
 		// silent hang, not a crash — and the liveness watchdog turns it
 		// into a rollback within the configured deadline.
 		cfg.WatchdogDeadline = 50 * time.Millisecond
-		plan := chaos.NewPlan(&chaos.Injection{
+		plan = chaos.NewPlan(&chaos.Injection{
 			Role: "follower", AfterCalls: 3, Kind: chaos.KindStall,
 		})
 		cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
@@ -143,6 +166,9 @@ func demoRedis(fault string) error {
 		return fmt.Errorf("redis supports faults: newcode, xform, stall")
 	}
 	w := apptest.NewWorld(cfg)
+	if plan != nil {
+		plan.Rec = w.Rec // injected faults join the flight-recorder timeline
+	}
 	w.C.Start(kvstore.New(kvstore.SpecFor("2.0.0", false)))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()

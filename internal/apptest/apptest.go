@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mvedsua/internal/core"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 	"mvedsua/internal/vos"
@@ -19,15 +20,24 @@ type World struct {
 	S *sim.Scheduler
 	K *vos.Kernel
 	C *core.Controller
+	// Rec is the flight recorder every layer of the world reports into.
+	Rec *obs.Recorder
 
 	done bool
 }
 
-// NewWorld builds a fresh world with the given controller config.
+// NewWorld builds a fresh world with the given controller config. Unless
+// cfg.Recorder is already set, a flight recorder bound to the world's
+// virtual clock is created and wired through the controller into the
+// monitor and ring buffer. The recorder observes but never advances
+// virtual time, so instrumented runs stay bit-identical to bare ones.
 func NewWorld(cfg core.Config) *World {
 	s := sim.New()
 	k := vos.NewKernel(s)
-	return &World{S: s, K: k, C: core.New(k, cfg)}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.New(s.Now, obs.Options{})
+	}
+	return &World{S: s, K: k, C: core.New(k, cfg), Rec: cfg.Recorder}
 }
 
 // Finish marks the scenario complete; the teardown task then reaps all

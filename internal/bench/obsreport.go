@@ -1,0 +1,332 @@
+package bench
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/chaos"
+	"mvedsua/internal/core"
+	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// The metrics experiment exercises the flight recorder (internal/obs)
+// end-to-end: a set of short, fully deterministic update scenarios on
+// the kvstore, each chosen to light up a different region of the metric
+// vocabulary — the clean lifecycle, a watchdog stall with retry, a
+// divergence rollback, blocking backpressure on a tiny ring buffer, and
+// the discard-follower policy. Together the runs cover every counter,
+// gauge and histogram in internal/obs/names.go, which is what the
+// golden schema (testdata/metrics_schema.json) asserts.
+
+// MetricsSchemaJSON is the golden schema benchtool -validate checks
+// reports against. A test keeps it in sync with obs's name vocabulary.
+//
+//go:embed testdata/metrics_schema.json
+var MetricsSchemaJSON []byte
+
+// MetricsSchemaID is the report format identifier.
+const MetricsSchemaID = "mvedsua-metrics/v1"
+
+// MetricsRun is one observed scenario's flight-recorder export.
+type MetricsRun struct {
+	Name           string       `json:"name"`
+	Target         string       `json:"target"`
+	Outcome        string       `json:"outcome"` // final stage + leader version
+	VirtualSeconds float64      `json:"virtual_seconds"`
+	Metrics        obs.Snapshot `json:"metrics"`
+	Timeline       []string     `json:"timeline"` // milestone events
+}
+
+// MetricsReport is the benchtool's machine-readable flight-recorder
+// artifact (BENCH_metrics.json). All content is derived from virtual
+// time and seeded inputs, so the report is bit-identical across runs.
+type MetricsReport struct {
+	Schema string       `json:"schema"`
+	Runs   []MetricsRun `json:"runs"`
+}
+
+// RunMetricsReport executes every observed scenario and assembles the
+// report.
+func RunMetricsReport() (MetricsReport, error) {
+	report := MetricsReport{Schema: MetricsSchemaID}
+	for _, sc := range metricsScenarios() {
+		run, err := runObserved(sc)
+		if err != nil {
+			return report, fmt.Errorf("metrics %s: %w", sc.name, err)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	return report, nil
+}
+
+// metricsScenario is one observed run's configuration and driver.
+type metricsScenario struct {
+	name string
+	cfg  core.Config
+	plan *chaos.Plan
+	// drive issues client traffic and steers the lifecycle. It runs in a
+	// sim task with a connected client; Finish is called by the wrapper.
+	drive func(w *apptest.World, tk *sim.Task, c *apptest.Client)
+}
+
+func metricsScenarios() []metricsScenario {
+	incr := func(w *apptest.World, tk *sim.Task, c *apptest.Client, n int) {
+		for i := 0; i < n; i++ {
+			c.Do(tk, "INCR counter")
+			tk.Sleep(10 * time.Millisecond)
+		}
+	}
+	return []metricsScenario{
+		{
+			// The Figure 6 story: update, validate, promote, commit.
+			name: "lifecycle",
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				incr(w, tk, c, 3)
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				incr(w, tk, c, 5)
+				w.C.Promote()
+				incr(w, tk, c, 5)
+				w.C.Commit()
+				incr(w, tk, c, 2)
+			},
+		},
+		{
+			// §6.2's timing-error shape: a silent follower hang caught by
+			// the liveness watchdog, rolled back, and retried to success.
+			name: "stall-watchdog-retry",
+			cfg: core.Config{
+				WatchdogDeadline: 50 * time.Millisecond,
+				RetryOnRollback:  true,
+				RetryInterval:    100 * time.Millisecond,
+				MaxRetries:       3,
+			},
+			plan: chaos.NewPlan(&chaos.Injection{
+				Role: "follower", AfterCalls: 3, Kind: chaos.KindStall,
+			}),
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				for i := 0; i < 60; i++ {
+					c.Do(tk, "INCR counter")
+					tk.Sleep(10 * time.Millisecond)
+					if w.C.Retries() > 0 && w.C.Stage() == core.StageOutdatedLeader {
+						break
+					}
+				}
+				incr(w, tk, c, 3)
+				if w.C.Stage() == core.StageOutdatedLeader {
+					w.C.Promote()
+					incr(w, tk, c, 3)
+					w.C.Commit()
+				}
+			},
+		},
+		{
+			// An injected syscall error desynchronizes the follower; the
+			// monitor reports the divergence and the controller rolls back.
+			name: "divergence-rollback",
+			plan: chaos.NewPlan(&chaos.Injection{
+				Role: "follower", Op: sysabi.OpWrite, AfterCalls: 2,
+				Kind: chaos.KindErrno, Errno: sysabi.EPIPE,
+			}),
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				incr(w, tk, c, 10)
+			},
+		},
+		{
+			// A slow follower against an 8-entry buffer with the blocking
+			// policy: the leader parks on the full ring (Figure 7's pause)
+			// and the block-wait histogram records how long.
+			name: "backpressure-block",
+			cfg:  core.Config{BufferEntries: 8},
+			plan: chaos.NewPlan(&chaos.Injection{
+				Role: "follower", AfterCalls: 2,
+				Kind: chaos.KindDelay, Delay: 50 * time.Millisecond,
+			}),
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				for i := 0; i < 20; i++ {
+					c.Do(tk, "INCR counter")
+					tk.Sleep(time.Millisecond)
+				}
+				incr(w, tk, c, 3)
+				if w.C.Stage() == core.StageOutdatedLeader {
+					w.C.Promote()
+					incr(w, tk, c, 3)
+					w.C.Commit()
+				}
+			},
+		},
+		{
+			// The same hang under the discard policy: the leader never
+			// blocks, drops events past the lagging follower, and the
+			// buffer-full stall sacrifices the follower instead.
+			name: "discard-follower",
+			cfg: core.Config{
+				BufferEntries:    8,
+				BufferFullPolicy: mve.FullDiscard,
+			},
+			plan: chaos.NewPlan(&chaos.Injection{
+				Role: "follower", AfterCalls: 2, Kind: chaos.KindStall,
+			}),
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				incr(w, tk, c, 15)
+			},
+		},
+	}
+}
+
+// runObserved executes one scenario with the flight recorder attached
+// and exports its registry and milestone timeline.
+func runObserved(sc metricsScenario) (MetricsRun, error) {
+	cfg := sc.cfg
+	if sc.plan != nil {
+		plan := sc.plan
+		cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+			return chaos.Wrap(role, d, plan)
+		}
+	}
+	w := apptest.NewWorld(cfg)
+	if sc.plan != nil {
+		sc.plan.Rec = w.Rec
+	}
+	srv := kvstore.New(kvstore.SpecFor("2.0.0", false))
+	srv.CmdCPU = KVStoreCmdCPU
+	w.C.Start(srv)
+	w.S.Go("driver", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		sc.drive(w, tk, c)
+	})
+	if err := w.Run(time.Hour); err != nil {
+		return MetricsRun{}, err
+	}
+	run := MetricsRun{
+		Name:           sc.name,
+		Target:         "Redis",
+		Outcome:        fmt.Sprintf("%v leader=%s", w.C.Stage(), w.C.LeaderRuntime().App().Version()),
+		VirtualSeconds: w.S.Now().Seconds(),
+		Metrics:        w.Rec.Snapshot(),
+	}
+	for _, e := range w.Rec.Milestones() {
+		run.Timeline = append(run.Timeline, e.String())
+	}
+	return run, nil
+}
+
+// metricsSchema is the golden schema's JSON shape.
+type metricsSchema struct {
+	Schema             string   `json:"schema"`
+	RequiredCounters   []string `json:"required_counters"`
+	OptionalCounters   []string `json:"optional_counters"`
+	RequiredGauges     []string `json:"required_gauges"`
+	OptionalGauges     []string `json:"optional_gauges"`
+	RequiredHistograms []string `json:"required_histograms"`
+	OptionalHistograms []string `json:"optional_histograms"`
+}
+
+// ValidateMetricsReport checks a report against the golden schema: the
+// schema id must match, every required metric name must appear in at
+// least one run, and no run may emit a name outside the schema's
+// vocabulary (so renaming a metric without updating the schema fails in
+// both directions).
+func ValidateMetricsReport(data []byte, schemaJSON []byte) error {
+	var schema metricsSchema
+	if err := json.Unmarshal(schemaJSON, &schema); err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	var report MetricsReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if report.Schema != schema.Schema {
+		return fmt.Errorf("schema id %q, want %q", report.Schema, schema.Schema)
+	}
+	if len(report.Runs) == 0 {
+		return fmt.Errorf("report has no runs")
+	}
+	emitted := func(pick func(obs.Snapshot) []string) map[string]bool {
+		set := map[string]bool{}
+		for _, run := range report.Runs {
+			for _, k := range pick(run.Metrics) {
+				set[k] = true
+			}
+		}
+		return set
+	}
+	check := func(class string, got map[string]bool, required, optional []string) error {
+		known := map[string]bool{}
+		for _, k := range required {
+			known[k] = true
+			if !got[k] {
+				return fmt.Errorf("%s %q required by the schema but absent from every run", class, k)
+			}
+		}
+		for _, k := range optional {
+			known[k] = true
+		}
+		var unknown []string
+		for k := range got {
+			if !known[k] {
+				unknown = append(unknown, k)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return fmt.Errorf("%s %v not in the schema vocabulary (rename? update testdata/metrics_schema.json)", class, unknown)
+		}
+		return nil
+	}
+	if err := check("counter", emitted(func(s obs.Snapshot) []string { return mapKeys(s.Counters) }),
+		schema.RequiredCounters, schema.OptionalCounters); err != nil {
+		return err
+	}
+	if err := check("gauge", emitted(func(s obs.Snapshot) []string { return mapKeys(s.Gauges) }),
+		schema.RequiredGauges, schema.OptionalGauges); err != nil {
+		return err
+	}
+	return check("histogram", emitted(func(s obs.Snapshot) []string {
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		return keys
+	}), schema.RequiredHistograms, schema.OptionalHistograms)
+}
+
+func mapKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// FormatMetricsReport renders the report for the terminal.
+func FormatMetricsReport(report MetricsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flight-recorder metrics (%s)\n", report.Schema)
+	for _, run := range report.Runs {
+		fmt.Fprintf(&b, "\n  %s (%s, %.2fs virtual) -> %s\n", run.Name, run.Target, run.VirtualSeconds, run.Outcome)
+		keys := mapKeys(run.Metrics.Counters)
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    %-32s %8d\n", k, run.Metrics.Counters[k])
+		}
+		for _, line := range run.Timeline {
+			b.WriteString("    " + line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"mvedsua/internal/obs"
+)
+
+// TestSchemaMatchesObsVocabulary keeps the golden schema and the obs
+// name constants in lockstep: every name in internal/obs/names.go must
+// appear in the schema (required or optional) and vice versa, so a
+// rename on either side fails here before it fails in CI's smoke run.
+func TestSchemaMatchesObsVocabulary(t *testing.T) {
+	var schema metricsSchema
+	if err := json.Unmarshal(MetricsSchemaJSON, &schema); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if schema.Schema != MetricsSchemaID {
+		t.Fatalf("schema id %q, want %q", schema.Schema, MetricsSchemaID)
+	}
+	check := func(class string, schemaNames, obsNames []string) {
+		a := append([]string(nil), schemaNames...)
+		b := append([]string(nil), obsNames...)
+		sort.Strings(a)
+		sort.Strings(b)
+		if strings.Join(a, ",") != strings.Join(b, ",") {
+			t.Errorf("%s vocabulary mismatch:\n  schema: %v\n  obs:    %v", class, a, b)
+		}
+	}
+	check("counter", append(schema.RequiredCounters, schema.OptionalCounters...), obs.CounterNames)
+	check("gauge", append(schema.RequiredGauges, schema.OptionalGauges...), obs.GaugeNames)
+	check("histogram", append(schema.RequiredHistograms, schema.OptionalHistograms...), obs.HistogramNames)
+}
+
+// TestMetricsReportValidates runs the full observed-scenario suite and
+// checks the emitted report against the golden schema — the same check
+// `make check` performs via the benchtool, kept in-process here so `go
+// test ./...` alone catches a vocabulary regression.
+func TestMetricsReportValidates(t *testing.T) {
+	report, err := RunMetricsReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetricsReport(data, MetricsSchemaJSON); err != nil {
+		t.Fatal(err)
+	}
+	// Every scenario must reach its intended terminal state.
+	want := map[string]string{
+		"lifecycle":            "single-leader leader=2.0.1",
+		"stall-watchdog-retry": "single-leader leader=2.0.1",
+		"divergence-rollback":  "single-leader leader=2.0.0",
+		"backpressure-block":   "single-leader leader=2.0.1",
+		"discard-follower":     "single-leader leader=2.0.0",
+	}
+	for _, run := range report.Runs {
+		if w, ok := want[run.Name]; !ok || run.Outcome != w {
+			t.Errorf("%s outcome = %q, want %q", run.Name, run.Outcome, w)
+		}
+		if len(run.Timeline) == 0 {
+			t.Errorf("%s has no milestone timeline", run.Name)
+		}
+	}
+	// The lifecycle run's timeline tells the whole §3.2 story.
+	var lifecycle []string
+	for _, run := range report.Runs {
+		if run.Name == "lifecycle" {
+			lifecycle = run.Timeline
+		}
+	}
+	joined := strings.Join(lifecycle, "\n")
+	for _, want := range []string{
+		"started as single leader",
+		"attached as follower",
+		"rule \"stats-clock-order\"",
+		"promoted to leader",
+		"update committed",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lifecycle timeline missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestValidateMetricsReportRejects exercises the validator's failure
+// modes: wrong schema id, a missing required metric, and an unknown
+// (renamed) metric.
+func TestValidateMetricsReportRejects(t *testing.T) {
+	report, err := RunMetricsReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marshal := func(r MetricsReport) []byte {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	bad := report
+	bad.Schema = "mvedsua-metrics/v0"
+	if err := ValidateMetricsReport(marshal(bad), MetricsSchemaJSON); err == nil {
+		t.Error("wrong schema id accepted")
+	}
+	if err := ValidateMetricsReport(marshal(MetricsReport{Schema: MetricsSchemaID}), MetricsSchemaJSON); err == nil {
+		t.Error("empty report accepted")
+	}
+	// Simulate a rename: move one counter to an unknown name everywhere.
+	var renamed MetricsReport
+	if err := json.Unmarshal(marshal(report), &renamed); err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range renamed.Runs {
+		if v, ok := run.Metrics.Counters[obs.CRingPut]; ok {
+			delete(run.Metrics.Counters, obs.CRingPut)
+			run.Metrics.Counters["ringbuf.puts"] = v
+		}
+	}
+	err = ValidateMetricsReport(marshal(renamed), MetricsSchemaJSON)
+	if err == nil {
+		t.Error("renamed counter accepted")
+	} else if !strings.Contains(err.Error(), "ringbuf.put") {
+		t.Errorf("rename error does not identify the metric: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 )
@@ -122,6 +123,10 @@ type Plan struct {
 	Injections []*Injection
 	// Log accumulates the faults that actually fired, in order.
 	Log []FiredRecord
+	// Rec, if non-nil, receives a KindFault trace event for every fault
+	// that fires, so injected chaos is auditable end-to-end in the same
+	// timeline as the recovery it provokes.
+	Rec *obs.Recorder
 }
 
 // NewPlan builds a plan over the given injections.
@@ -196,6 +201,8 @@ func (d *Dispatcher) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 		d.plan.Log = append(d.plan.Log, FiredRecord{
 			At: t.Now(), Role: d.role, Call: call.String(), Inj: inj.String(),
 		})
+		d.plan.Rec.Inc(obs.CChaosFired)
+		d.plan.Rec.Emitf(obs.KindFault, d.role, "injected %s at %s", inj, call)
 		switch inj.Kind {
 		case KindErrno:
 			return sysabi.Result{Err: inj.Errno}

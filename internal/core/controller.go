@@ -21,6 +21,7 @@ import (
 
 	"mvedsua/internal/dsu"
 	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 	"mvedsua/internal/vos"
@@ -109,6 +110,11 @@ type Config struct {
 	// sysabi chokepoint hook the chaos layer (internal/chaos) uses to
 	// inject faults without the controller knowing about it.
 	WrapDispatcher func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher
+	// Recorder, if non-nil, is the flight recorder every layer of this
+	// controller's pipeline (monitor, ring buffer, stage machine) emits
+	// metrics and trace events into. Nil disables observation at the
+	// cost of one pointer check per instrumented operation.
+	Recorder *obs.Recorder
 }
 
 // validate panics on configurations that cannot mean what the caller
@@ -156,6 +162,7 @@ type Controller struct {
 	nextProcID int
 
 	timeline []Event
+	rec      *obs.Recorder
 
 	// OnCrash, if non-nil, observes crashes the controller already
 	// handled (rollbacks/promotions) as well as unhandled ones.
@@ -182,7 +189,9 @@ func New(kernel *vos.Kernel, cfg Config) *Controller {
 		cfg:    cfg,
 		mon:    mve.New(kernel, cfg.BufferEntries, cfg.Costs),
 		stage:  StageSingleLeader,
+		rec:    cfg.Recorder,
 	}
+	c.mon.SetRecorder(cfg.Recorder)
 	c.mon.Lockstep = cfg.Lockstep
 	c.mon.WatchdogDeadline = cfg.WatchdogDeadline
 	c.mon.FullPolicy = cfg.BufferFullPolicy
@@ -213,6 +222,9 @@ func (c *Controller) wrapDispatcher(role string, proc *mve.Proc) sysabi.Dispatch
 // Monitor exposes the underlying MVE monitor.
 func (c *Controller) Monitor() *mve.Monitor { return c.mon }
 
+// Recorder returns the attached flight recorder, or nil.
+func (c *Controller) Recorder() *obs.Recorder { return c.rec }
+
 // Stage returns the current lifecycle stage.
 func (c *Controller) Stage() Stage { return c.stage }
 
@@ -229,6 +241,8 @@ func (c *Controller) transition(stage Stage, note string) {
 	c.stage = stage
 	ev := Event{At: c.sched.Now(), Stage: stage, Note: note}
 	c.timeline = append(c.timeline, ev)
+	c.rec.Inc(obs.CCoreTransitions)
+	c.rec.Emit(obs.KindStage, stage.String(), note)
 	if c.OnStage != nil {
 		c.OnStage(ev)
 	}
@@ -265,6 +279,7 @@ func (c *Controller) Update(v *dsu.Version) bool {
 	}
 	c.pending = v
 	c.retries = 0
+	c.rec.Inc(obs.CCoreUpdates)
 	return c.leaderRT.RequestUpdate(v)
 }
 
@@ -302,11 +317,15 @@ func (c *Controller) updateOutcome(rec dsu.UpdateRecord) {
 
 // retryDelay returns the capped exponential backoff before retry n
 // (1-based): RetryInterval × 2^(n-1), clamped to RetryMaxInterval.
+// Doubling a time.Duration (an int64) wraps negative after ~63
+// doublings, so an overflowed value is treated as "past the cap": a
+// huge RetryMaxInterval with a large retry count must clamp, never
+// schedule a negative (i.e. immediate) retry.
 func (c *Controller) retryDelay(n int) time.Duration {
 	d := c.cfg.RetryInterval
 	for i := 1; i < n; i++ {
 		d *= 2
-		if d >= c.cfg.RetryMaxInterval {
+		if d <= 0 || d >= c.cfg.RetryMaxInterval {
 			return c.cfg.RetryMaxInterval
 		}
 	}
@@ -322,6 +341,8 @@ func (c *Controller) retryDelay(n int) time.Duration {
 // has moved on in the meantime.
 func (c *Controller) scheduleRetry(v *dsu.Version, n int, why string) {
 	delay := c.retryDelay(n)
+	c.rec.Inc(obs.CCoreRetries)
+	c.rec.Emitf(obs.KindRetry, v.Name, "%s; retry %d scheduled with %v backoff", why, n, delay)
 	c.transition(c.stage, fmt.Sprintf("%s; retry %d of %s in %v", why, n, v.Name, delay))
 	c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
 		t.Sleep(delay)
@@ -389,6 +410,7 @@ func (c *Controller) Commit() bool {
 	c.mon.DropFollower()
 	c.otherRT = nil
 	c.pending = nil
+	c.rec.Inc(obs.CCoreCommits)
 	// The promoted runtime now leads: future updates must fork again.
 	c.leaderRT.SetUpdateHooks(c.takeUpdate, c.updateOutcome, false)
 	c.transition(StageSingleLeader, "update committed")
@@ -410,6 +432,7 @@ func (c *Controller) Rollback(reason string) bool {
 	c.otherRT = nil
 	v := c.pending
 	c.pending = nil
+	c.rec.Inc(obs.CCoreRollbacks)
 	c.transition(StageSingleLeader, "rolled back: "+reason)
 	if c.cfg.RetryOnRollback && v != nil && c.cfg.RetryInterval > 0 && c.retries < c.cfg.MaxRetries {
 		c.retries++

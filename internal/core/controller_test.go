@@ -661,6 +661,40 @@ func TestRetryDelaySequence(t *testing.T) {
 	}
 }
 
+// TestRetryDelayOverflow pins the overflow clamp: repeated doubling of a
+// time.Duration (int64 nanoseconds) wraps negative after ~2^63ns, and a
+// negative delay handed to the scheduler would fire the retry
+// immediately — turning the gentlest backoff into the most aggressive.
+// With a cap too large to ever be reached by doubling, every retry
+// count, however high, must still yield a positive delay clamped to the
+// cap.
+func TestRetryDelayOverflow(t *testing.T) {
+	huge := time.Duration(1<<63 - 1) // max int64: unreachable by doubling
+	c := New(vos.NewKernel(sim.New()), Config{
+		RetryInterval:    time.Second,
+		RetryMaxInterval: huge,
+	})
+	for _, n := range []int{1, 2, 32, 62, 63, 64, 65, 100, 1000} {
+		got := c.retryDelay(n)
+		if got <= 0 {
+			t.Fatalf("retryDelay(%d) = %v; overflowed negative", n, got)
+		}
+		if got > huge {
+			t.Fatalf("retryDelay(%d) = %v exceeds cap", n, got)
+		}
+	}
+	// Before doubling wraps (2^62ns ~ 146 years), growth is still exact.
+	if got := c.retryDelay(10); got != 512*time.Second {
+		t.Errorf("retryDelay(10) = %v, want 512s", got)
+	}
+	// At and past the wrap point the clamp pins the cap.
+	for _, n := range []int{64, 100, 1000} {
+		if got := c.retryDelay(n); got != huge {
+			t.Errorf("retryDelay(%d) = %v, want cap %v", n, got, huge)
+		}
+	}
+}
+
 // TestBackoffRetrySchedule holds quiescence hostage long enough for four
 // retries and asserts both the advertised backoff delays (timeline
 // notes) and the actual virtual-clock spacing between attempts:

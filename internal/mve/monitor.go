@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mvedsua/internal/dsl"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/ringbuf"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
@@ -121,12 +122,16 @@ type Stall struct {
 	Stalled time.Duration
 	// Pending is the ring-buffer occupancy at detection time.
 	Pending int
+	// Dropped is the ring buffer's discard count at detection time:
+	// non-zero only on the buffer-full (discard-policy) path, so a
+	// discarded follower is distinguishable from a merely hung one.
+	Dropped int
 }
 
 // String formats the stall for logs.
 func (st Stall) String() string {
 	if st.Reason == "buffer-full" {
-		return fmt.Sprintf("stall in %s: ring buffer full (%d pending)", st.Proc, st.Pending)
+		return fmt.Sprintf("stall in %s: ring buffer full (%d pending, %d dropped)", st.Proc, st.Pending, st.Dropped)
 	}
 	return fmt.Sprintf("stall in %s: no progress for %v (%d pending)", st.Proc, st.Stalled, st.Pending)
 }
@@ -210,6 +215,10 @@ type Monitor struct {
 	// Stats aggregates monitor activity for reporting.
 	Stats Stats
 
+	// rec is the optional flight recorder; nil costs one pointer check
+	// per instrumented operation. Set via SetRecorder.
+	rec *obs.Recorder
+
 	// promoWait parks a demoted leader between writing the promotion
 	// event (t4) and the new leader taking over (t5): during that window
 	// the buffer still holds events meant for the old follower, and the
@@ -231,6 +240,17 @@ func New(kernel *vos.Kernel, bufCap int, costs Costs) *Monitor {
 
 // Buffer exposes the ring buffer (read-only use: occupancy metrics).
 func (m *Monitor) Buffer() *ringbuf.Buffer { return m.buf }
+
+// SetRecorder attaches a flight recorder to the monitor and its ring
+// buffer. A nil recorder detaches (the default: zero hot-path cost
+// beyond one pointer check).
+func (m *Monitor) SetRecorder(rec *obs.Recorder) {
+	m.rec = rec
+	m.buf.Rec = rec
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (m *Monitor) Recorder() *obs.Recorder { return m.rec }
 
 // Divergences returns the divergences observed so far.
 func (m *Monitor) Divergences() []Divergence { return m.divergences }
@@ -380,6 +400,7 @@ func (m *Monitor) StartSingleLeader(name string) *Proc {
 	p := newProc(m, name, RoleSingleLeader)
 	m.leader = p
 	m.logf("%s started as single leader", name)
+	m.rec.Emit(obs.KindRole, name, "started as single leader")
 	return p
 }
 
@@ -401,6 +422,7 @@ func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
 	m.follower = f
 	m.leader.role = RoleLeader
 	m.logf("%s attached as follower of %s (buffer %d entries)", name, m.leader.name, m.buf.Cap())
+	m.rec.Emitf(obs.KindRole, name, "attached as follower of %s (buffer %d entries)", m.leader.name, m.buf.Cap())
 	m.startWatchdog(f)
 	return f
 }
@@ -448,6 +470,8 @@ func (m *Monitor) startWatchdog(f *Proc) {
 func (m *Monitor) raiseStall(st Stall) {
 	m.Stats.Stalls++
 	m.logf("%s", st)
+	m.rec.Inc(obs.CMVEStalls)
+	m.rec.Emit(obs.KindStall, st.Proc, st.String())
 	if m.OnStall != nil {
 		m.OnStall(st)
 	}
@@ -509,6 +533,7 @@ func (m *Monitor) DropFollower() {
 		return
 	}
 	m.logf("follower %s dropped", m.follower.name)
+	m.rec.Emitf(obs.KindRole, m.follower.name, "follower dropped (%d events dropped by discard policy)", m.buf.Dropped)
 	m.follower = nil
 	m.promoteRequested = false
 	m.buf.Close()
@@ -548,6 +573,7 @@ func (p *Proc) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 				p.globalNext = p.m.buf.NextSeq()
 				p.m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
 				p.m.logf("%s demoted itself; awaiting new leader", p.name)
+				p.m.rec.Emit(obs.KindRole, p.name, "demoted itself; awaiting new leader")
 				continue
 			}
 			return p.invokeLeader(t, call)
@@ -590,6 +616,15 @@ func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
 	if p.m.costs.Intercept > 0 {
 		t.Advance(p.m.costs.Intercept)
 	}
+	if rec := p.m.rec; rec.Enabled() {
+		rec.Inc(obs.CSyscallsSingle)
+		start := t.Now()
+		res := p.m.kernel.Invoke(t, call)
+		rec.Observe(obs.HSyscallSingle, t.Now()-start)
+		rec.Emitf(obs.KindSyscall, p.name, "%s = %d/%v", call, res.Ret, res.Err)
+		p.trackKernelState(call, res)
+		return res
+	}
 	res := p.m.kernel.Invoke(t, call)
 	p.trackKernelState(call, res)
 	return res
@@ -599,7 +634,14 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 	if p.m.costs.Record > 0 {
 		t.Advance(p.m.costs.Record)
 	}
+	rec := p.m.rec
+	start := t.Now()
 	res := p.m.kernel.Invoke(t, call)
+	if rec.Enabled() {
+		rec.Inc(obs.CSyscallsLeader)
+		rec.Observe(obs.HSyscallLeader, t.Now()-start)
+		rec.Emitf(obs.KindSyscall, p.name, "%s = %d/%v", call, res.Ret, res.Err)
+	}
 	p.trackKernelState(call, res)
 	ev := sysabi.Event{Call: call.Clone(), Result: res.Clone()}
 	if p.m.FullPolicy == FullDiscard {
@@ -608,11 +650,13 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 			// the service. The stall handler (controller) drops the
 			// follower; the leader proceeds with its result regardless.
 			if p.m.follower != nil && !p.m.buf.Closed() {
-				p.m.raiseStall(Stall{Proc: p.m.follower.name, Reason: "buffer-full", Pending: p.m.buf.Len()})
+				p.m.raiseStall(Stall{Proc: p.m.follower.name, Reason: "buffer-full",
+					Pending: p.m.buf.Len(), Dropped: p.m.buf.Dropped})
 			}
 			return res
 		}
 		p.m.Stats.Recorded++
+		p.m.rec.Inc(obs.CMVERecorded)
 		return res
 	}
 	// Blocking policy: Put parks the leader on a full buffer. It reports
@@ -621,6 +665,7 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 	// event is dropped along with the follower.
 	if p.m.buf.PutEvent(t, ev) {
 		p.m.Stats.Recorded++
+		p.m.rec.Inc(obs.CMVERecorded)
 	} else {
 		return res
 	}
@@ -676,6 +721,11 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		g.idx++
 		p.m.Stats.Replayed++
 		p.progress++
+		if rec := p.m.rec; rec.Enabled() {
+			rec.Inc(obs.CMVEReplayed)
+			rec.Inc(obs.CSyscallsFollower)
+			rec.Emitf(obs.KindValidate, p.name, "#%d expect %s, got %s", exp.Seq, exp.Call, call)
+		}
 		if g.idx >= len(g.events) {
 			p.expByTID[tid] = p.expByTID[tid][1:]
 			for _, s := range g.seqs {
@@ -706,6 +756,8 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		p.diverged = true
 		p.m.divergences = append(p.m.divergences, d)
 		p.m.logf("%s diverged: %s", p.name, d)
+		p.m.rec.Inc(obs.CMVEDivergences)
+		p.m.rec.Emit(obs.KindDivergence, p.name, d.String())
 		if p.m.OnDivergence != nil {
 			p.m.OnDivergence(d)
 		}
@@ -741,6 +793,9 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 				if fired != nil {
 					p.m.Stats.Rewritten++
 					p.m.logf("rule %q rewrote %d event(s) into %d for tid %d", fired.Name, consumed, len(expected), tid)
+					p.m.rec.Inc(obs.CRuleHits)
+					p.m.rec.Emitf(obs.KindRuleHit, p.name, "rule %q rewrote %d event(s) into %d for tid %d",
+						fired.Name, consumed, len(expected), tid)
 				}
 				seqs := make([]uint64, consumed)
 				for i := 0; i < consumed; i++ {
@@ -831,6 +886,8 @@ func (p *Proc) discardTail(t *sim.Task, tid int) {
 func (p *Proc) becomeLeader() {
 	m := p.m
 	m.logf("%s promoted to leader", p.name)
+	m.rec.Inc(obs.CMVEPromotions)
+	m.rec.Emit(obs.KindRole, p.name, "promoted to leader")
 	old := m.leader
 	m.leader = p
 	m.follower = old

@@ -244,8 +244,8 @@ func TestFullPolicyAndStallStrings(t *testing.T) {
 	if !strings.Contains(np.String(), "no progress for 1s") {
 		t.Fatalf("String = %q", np.String())
 	}
-	bf := Stall{Proc: "f", Reason: "buffer-full", Pending: 8}
-	if !strings.Contains(bf.String(), "ring buffer full (8 pending)") {
+	bf := Stall{Proc: "f", Reason: "buffer-full", Pending: 8, Dropped: 2}
+	if !strings.Contains(bf.String(), "ring buffer full (8 pending, 2 dropped)") {
 		t.Fatalf("String = %q", bf.String())
 	}
 }

@@ -1,0 +1,63 @@
+package obs
+
+// Canonical metric names. Instrumentation sites use these constants so
+// the vocabulary is defined in one place; the benchtool's golden-schema
+// check (internal/bench/testdata/metrics_schema.json) pins the same
+// names on the wire, so renaming one here without updating the schema
+// fails `make check`.
+const (
+	// sysabi dispatch (mve.Proc chokepoint).
+	CSyscallsSingle   = "sysabi.calls.single"   // single-leader-mode syscalls
+	CSyscallsLeader   = "sysabi.calls.leader"   // leader syscalls while a follower is attached
+	CSyscallsFollower = "sysabi.calls.follower" // follower syscalls validated against the stream
+	HSyscallSingle    = "sysabi.latency.single" // kernel latency, single-leader mode
+	HSyscallLeader    = "sysabi.latency.leader" // kernel latency, leader mode (incl. record cost)
+
+	// Ring buffer.
+	CRingPut       = "ringbuf.put"
+	CRingGet       = "ringbuf.get"
+	CRingBlocked   = "ringbuf.producer_blocked"
+	CRingDropped   = "ringbuf.dropped"
+	CRingResets    = "ringbuf.resets"
+	GRingOccupancy = "ringbuf.occupancy" // last observed occupancy
+	GRingHighWater = "ringbuf.highwater" // max occupancy ever reached
+	HRingBlockWait = "ringbuf.block_wait"
+
+	// MVE monitor.
+	CMVERecorded    = "mve.recorded"
+	CMVEReplayed    = "mve.replayed"
+	CMVEPromotions  = "mve.promotions"
+	CMVEStalls      = "mve.stalls"
+	CMVEDivergences = "mve.divergences"
+
+	// DSL rewrite engine (per-rule attribution lives in the trace).
+	CRuleHits = "dsl.rule_hits"
+
+	// Controller lifecycle.
+	CCoreTransitions = "core.transitions"
+	CCoreUpdates     = "core.updates"
+	CCoreCommits     = "core.commits"
+	CCoreRollbacks   = "core.rollbacks"
+	CCoreRetries     = "core.retries"
+
+	// Chaos layer.
+	CChaosFired = "chaos.fired"
+)
+
+// CounterNames is the complete counter vocabulary. The golden schema
+// (internal/bench/testdata/metrics_schema.json) must cover exactly this
+// set; a test keeps the two in sync.
+var CounterNames = []string{
+	CSyscallsSingle, CSyscallsLeader, CSyscallsFollower,
+	CRingPut, CRingGet, CRingBlocked, CRingDropped, CRingResets,
+	CMVERecorded, CMVEReplayed, CMVEPromotions, CMVEStalls, CMVEDivergences,
+	CRuleHits,
+	CCoreTransitions, CCoreUpdates, CCoreCommits, CCoreRollbacks, CCoreRetries,
+	CChaosFired,
+}
+
+// GaugeNames is the complete gauge vocabulary.
+var GaugeNames = []string{GRingOccupancy, GRingHighWater}
+
+// HistogramNames is the complete histogram vocabulary.
+var HistogramNames = []string{HSyscallSingle, HSyscallLeader, HRingBlockWait}

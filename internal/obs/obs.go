@@ -1,0 +1,478 @@
+// Package obs is the flight recorder for the MVEDSUA pipeline: a
+// zero-dependency (stdlib-only) metrics registry plus a bounded
+// structured trace of typed events.
+//
+// The paper's whole evaluation (§6, Tables 2-4, Figures 6-7) is a story
+// told from measurements — interception overhead, buffer occupancy,
+// divergence timing, update-lifecycle latency. The recorder gives every
+// layer of the reproduction a first-class way to report those
+// measurements: sysabi dispatch, the ring buffer, the MVE monitor, the
+// update controller, and the chaos layer all emit into one Recorder, so
+// a single timeline explains *why* a run recovered, not just that it
+// did.
+//
+// Everything is instrumented behind a nil check: all Recorder methods
+// are safe on a nil receiver and return immediately, so a disabled
+// recorder costs one pointer comparison on the hot path. Time is
+// virtual: the recorder is constructed over the sim scheduler's clock
+// and never advances it, which keeps instrumented runs bit-identical to
+// uninstrumented ones.
+//
+// Trace events are split into two retention classes. Low-frequency
+// lifecycle milestones (stage transitions, role changes, rule hits,
+// divergences, stalls, retries, faults, resets) are kept in a separate
+// bounded list so a long run cannot evict the story of its own update;
+// high-frequency events (syscall issue/validate, ring-buffer traffic)
+// go to a fixed-capacity ring that keeps the most recent window and
+// counts what it dropped.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind types a trace event.
+type Kind int
+
+// Event kinds. Hot kinds (per-syscall, per-entry) go to the bounded
+// ring; the rest are lifecycle milestones with their own retention.
+const (
+	KindSyscall     Kind = iota // a syscall dispatched (leader/single-leader)
+	KindValidate                // a follower validated one expected event
+	KindRingPut                 // ring buffer append
+	KindRingGet                 // ring buffer consume
+	KindRingBlock               // producer parked on a full ring buffer
+	KindRingDiscard             // entry dropped by the non-blocking append
+	KindRingReset               // ring buffer reset (rollback/retry reuse)
+	KindRuleHit                 // DSL rewrite rule fired (rule attribution)
+	KindDivergence              // follower mismatched the recorded stream
+	KindStall                   // watchdog / buffer-full stall verdict
+	KindRole                    // process role change (attach/promote/drop)
+	KindStage                   // controller stage transition
+	KindRetry                   // controller scheduled a retry (with backoff)
+	KindFault                   // chaos injection fired
+)
+
+var kindNames = map[Kind]string{
+	KindSyscall:     "syscall",
+	KindValidate:    "validate",
+	KindRingPut:     "ring.put",
+	KindRingGet:     "ring.get",
+	KindRingBlock:   "ring.block",
+	KindRingDiscard: "ring.discard",
+	KindRingReset:   "ring.reset",
+	KindRuleHit:     "rule.hit",
+	KindDivergence:  "divergence",
+	KindStall:       "stall",
+	KindRole:        "role",
+	KindStage:       "stage",
+	KindRetry:       "retry",
+	KindFault:       "fault",
+}
+
+// String returns the kind's timeline label.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Hot reports whether the kind is high-frequency (per syscall or per
+// ring-buffer entry) and therefore ring-buffered rather than retained as
+// a lifecycle milestone.
+func (k Kind) Hot() bool {
+	switch k {
+	case KindSyscall, KindValidate, KindRingPut, KindRingGet:
+		return true
+	}
+	return false
+}
+
+// Event is one trace entry.
+type Event struct {
+	At     time.Duration // virtual time
+	Kind   Kind
+	Actor  string // proc name, role, or subsystem
+	Detail string // human-readable specifics (rule name, stall reason, ...)
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%10.6fs] %-12s %-24s %s", e.At.Seconds(), e.Kind, e.Actor, e.Detail)
+}
+
+// Histogram is a virtual-clock latency histogram with power-of-two
+// bucket bounds from 1µs up; observations above the last bound land in
+// the overflow bucket.
+type Histogram struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	Min     time.Duration
+	Buckets [histBuckets + 1]int64 // last slot is overflow
+}
+
+// histBuckets bounds: 1µs << i for i in [0, histBuckets).
+const histBuckets = 24
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Count++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+	if h.Count == 1 || d < h.Min {
+		h.Min = d
+	}
+	for i := 0; i < histBuckets; i++ {
+		if d <= BucketBound(i) {
+			h.Buckets[i]++
+			return
+		}
+	}
+	h.Buckets[histBuckets]++
+}
+
+// Mean returns the average observation, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Options sizes a Recorder.
+type Options struct {
+	// TraceCapacity bounds the hot-event ring (default 8192).
+	TraceCapacity int
+	// MilestoneCapacity bounds the lifecycle-event list (default 4096).
+	MilestoneCapacity int
+}
+
+// Recorder is the flight recorder: a metrics registry (counters, gauges,
+// histograms) plus the bounded structured trace. The zero value is not
+// usable; construct with New. All methods are nil-safe.
+type Recorder struct {
+	now func() time.Duration
+
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*Histogram
+
+	hot      []Event // ring storage
+	hotCap   int
+	hotStart int   // index of the oldest event once the ring wrapped
+	dropped  int64 // hot events evicted from the ring
+
+	milestones        []Event
+	milestonesDropped int64
+	milestoneCap      int
+}
+
+// New builds a recorder over the given virtual-clock source (typically
+// sim.Scheduler.Now). A nil now function pins all events at t=0.
+func New(now func() time.Duration, opts Options) *Recorder {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = 8192
+	}
+	if opts.MilestoneCapacity <= 0 {
+		opts.MilestoneCapacity = 4096
+	}
+	return &Recorder{
+		now:          now,
+		counters:     make(map[string]int64),
+		gauges:       make(map[string]int64),
+		hists:        make(map[string]*Histogram),
+		hot:          make([]Event, 0, opts.TraceCapacity),
+		hotCap:       opts.TraceCapacity,
+		milestoneCap: opts.MilestoneCapacity,
+	}
+}
+
+// Now returns the recorder's current virtual time (zero on nil).
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// Add increments counter name by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (r *Recorder) Inc(name string) { r.Add(name, 1) }
+
+// Counter returns the current value of a counter.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// SetGauge records the latest value of gauge name.
+func (r *Recorder) SetGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[name] = v
+}
+
+// MaxGauge raises gauge name to v if v exceeds its current value
+// (high-water-mark semantics).
+func (r *Recorder) MaxGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+}
+
+// Gauge returns the current value of a gauge.
+func (r *Recorder) Gauge(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name]
+}
+
+// Observe records one duration into histogram name.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.observe(d)
+}
+
+// Hist returns the named histogram, or nil.
+func (r *Recorder) Hist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// Emit appends a trace event stamped at the current virtual time.
+func (r *Recorder) Emit(kind Kind, actor, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{At: r.now(), Kind: kind, Actor: actor, Detail: detail}
+	if kind.Hot() {
+		r.emitHot(e)
+		return
+	}
+	if len(r.milestones) >= r.milestoneCap {
+		r.milestonesDropped++
+		return
+	}
+	r.milestones = append(r.milestones, e)
+}
+
+// Emitf is Emit with a formatted detail string. Callers on hot paths
+// should gate on Enabled first so the formatting cost is only paid when
+// a recorder is attached.
+func (r *Recorder) Emitf(kind Kind, actor, format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
+	r.Emit(kind, actor, fmt.Sprintf(format, args...))
+}
+
+// Enabled reports whether a recorder is attached (use to gate argument
+// construction on hot paths).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) emitHot(e Event) {
+	if len(r.hot) < r.hotCap {
+		r.hot = append(r.hot, e)
+		return
+	}
+	// Overwrite the oldest slot.
+	r.hot[r.hotStart] = e
+	r.hotStart = (r.hotStart + 1) % r.hotCap
+	r.dropped++
+}
+
+// TraceDropped returns how many hot events the ring evicted.
+func (r *Recorder) TraceDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Trace returns every retained event — milestones and the surviving hot
+// window — merged in virtual-time order.
+func (r *Recorder) Trace() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.milestones)+len(r.hot))
+	out = append(out, r.milestones...)
+	for i := 0; i < len(r.hot); i++ {
+		out = append(out, r.hot[(r.hotStart+i)%len(r.hot)])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Milestones returns only the lifecycle events (stage, role, rule,
+// divergence, stall, retry, fault, reset), in emission order.
+func (r *Recorder) Milestones() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.milestones...)
+}
+
+// HistogramSnapshot is the JSON shape of one histogram.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	SumNS   int64   `json:"sum_ns"`
+	MaxNS   int64   `json:"max_ns"`
+	MinNS   int64   `json:"min_ns"`
+	MeanNS  int64   `json:"mean_ns"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time export of the whole registry,
+// JSON-serializable for the benchtool's machine-readable output.
+type Snapshot struct {
+	Counters          map[string]int64             `json:"counters"`
+	Gauges            map[string]int64             `json:"gauges"`
+	Histograms        map[string]HistogramSnapshot `json:"histograms"`
+	TraceDropped      int64                        `json:"trace_dropped"`
+	MilestonesDropped int64                        `json:"milestones_dropped"`
+	TraceLen          int                          `json:"trace_len"`
+}
+
+// Snapshot exports the registry. Safe on nil (returns empty maps).
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = HistogramSnapshot{
+			Count:   h.Count,
+			SumNS:   int64(h.Sum),
+			MaxNS:   int64(h.Max),
+			MinNS:   int64(h.Min),
+			MeanNS:  int64(h.Mean()),
+			Buckets: append([]int64(nil), h.Buckets[:]...),
+		}
+	}
+	s.TraceDropped = r.dropped
+	s.MilestonesDropped = r.milestonesDropped
+	s.TraceLen = len(r.milestones) + len(r.hot)
+	return s
+}
+
+// MarshalJSON gives Snapshot deterministic output (encoding/json already
+// sorts map keys, so the default marshalling is stable; this method
+// exists to pin that contract for golden-schema validation).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}
+
+// FormatMetrics renders the registry as a human-readable table.
+func (r *Recorder) FormatMetrics() string {
+	if r == nil {
+		return "(no recorder attached)\n"
+	}
+	var b strings.Builder
+	writeSorted := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		b.WriteString(title + ":\n")
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-32s %12d\n", k, m[k])
+		}
+	}
+	writeSorted("counters", r.counters)
+	writeSorted("gauges", r.gauges)
+	if len(r.hists) > 0 {
+		b.WriteString("histograms:\n")
+		keys := make([]string, 0, len(r.hists))
+		for k := range r.hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := r.hists[k]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%v max=%v\n", k, h.Count, h.Mean(), h.Max)
+		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "trace: %d hot events evicted from the ring\n", r.dropped)
+	}
+	return b.String()
+}
+
+// FormatTimeline renders the merged trace as a human-readable timeline.
+// When onlyMilestones is true, hot events (per-syscall, per-entry) are
+// omitted, leaving the update-lifecycle story.
+func (r *Recorder) FormatTimeline(onlyMilestones bool) string {
+	if r == nil {
+		return "(no recorder attached)\n"
+	}
+	var b strings.Builder
+	events := r.Trace()
+	for _, e := range events {
+		if onlyMilestones && e.Kind.Hot() {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if r.dropped > 0 && !onlyMilestones {
+		fmt.Fprintf(&b, "(%d older hot events evicted; milestones fully retained)\n", r.dropped)
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ package ringbuf
 import (
 	"fmt"
 
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 )
@@ -70,6 +71,15 @@ type Buffer struct {
 	// ProducerBlocked counts how many times the producer had to wait on a
 	// full buffer (the visible service pause of Figure 7).
 	ProducerBlocked int
+	// Dropped counts entries TryAppend refused on a full buffer — the
+	// discard-policy path. A discarded follower shows Dropped > 0 while
+	// a merely stalled one shows ProducerBlocked > 0; the two failure
+	// shapes are distinguishable in the trace and in reports.
+	Dropped int
+
+	// Rec, if non-nil, receives ring-buffer metrics and trace events
+	// (the flight recorder). Nil costs one pointer check per operation.
+	Rec *obs.Recorder
 }
 
 // New returns a buffer with the given capacity (minimum 1).
@@ -106,11 +116,26 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 			return false
 		}
 		b.ProducerBlocked++
-		t.Block(&b.notFull)
+		b.Rec.Inc(obs.CRingBlocked)
+		if b.Rec.Enabled() {
+			b.Rec.Emitf(obs.KindRingBlock, t.Name(), "buffer full (%d/%d)", len(b.q), b.capacity)
+			blockedAt := t.Now()
+			t.Block(&b.notFull)
+			b.Rec.Observe(obs.HRingBlockWait, t.Now()-blockedAt)
+		} else {
+			t.Block(&b.notFull)
+		}
 	}
 	if b.closed {
 		return false
 	}
+	b.append(e)
+	return true
+}
+
+// append stores one entry (capacity already checked) and updates the
+// occupancy accounting shared by Put and TryAppend.
+func (b *Buffer) append(e Entry) {
 	if e.Kind == KindSyscall {
 		e.Event.Seq = b.seq
 		b.seq++
@@ -119,8 +144,21 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 	if n := len(b.q); n > b.HighWater {
 		b.HighWater = n
 	}
+	if b.Rec.Enabled() {
+		b.Rec.Inc(obs.CRingPut)
+		b.Rec.SetGauge(obs.GRingOccupancy, int64(len(b.q)))
+		b.Rec.MaxGauge(obs.GRingHighWater, int64(b.HighWater))
+		b.Rec.Emitf(obs.KindRingPut, e.Kind.String(), "%s (occ %d/%d)", entryDetail(e), len(b.q), b.capacity)
+	}
 	b.notEmpty.WakeAll(b.sched)
-	return true
+}
+
+// entryDetail renders an entry for the trace.
+func entryDetail(e Entry) string {
+	if e.Kind == KindSyscall {
+		return e.Event.String()
+	}
+	return e.Kind.String()
 }
 
 // TryAppend appends an entry without ever blocking: it reports false if
@@ -130,17 +168,17 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 // append and drops the follower (the dMVX-style degradation path).
 func (b *Buffer) TryAppend(e Entry) bool {
 	if b.closed || b.Full() {
+		if !b.closed {
+			b.Dropped++
+			b.Rec.Inc(obs.CRingDropped)
+			if b.Rec.Enabled() {
+				b.Rec.Emitf(obs.KindRingDiscard, e.Kind.String(), "%s dropped (%d total, occ %d/%d)",
+					entryDetail(e), b.Dropped, len(b.q), b.capacity)
+			}
+		}
 		return false
 	}
-	if e.Kind == KindSyscall {
-		e.Event.Seq = b.seq
-		b.seq++
-	}
-	b.q = append(b.q, e)
-	if n := len(b.q); n > b.HighWater {
-		b.HighWater = n
-	}
-	b.notEmpty.WakeAll(b.sched)
+	b.append(e)
 	return true
 }
 
@@ -164,6 +202,11 @@ func (b *Buffer) Get(t *sim.Task) (Entry, bool) {
 	b.q = b.q[1:]
 	if len(b.q) == 0 {
 		b.q = nil // let the backing array be collected
+	}
+	if b.Rec.Enabled() {
+		b.Rec.Inc(obs.CRingGet)
+		b.Rec.SetGauge(obs.GRingOccupancy, int64(len(b.q)))
+		b.Rec.Emitf(obs.KindRingGet, t.Name(), "%s (occ %d/%d)", entryDetail(e), len(b.q), b.capacity)
 	}
 	b.notFull.WakeAll(b.sched)
 	return e, true
@@ -190,10 +233,25 @@ func (b *Buffer) Close() {
 
 // Reset discards all pending entries and reopens the buffer, reusing the
 // allocation. Used when MVEDSUA rolls an update back and later retries.
+// Sequence numbering restarts at zero: the next attached follower
+// validates a fresh stream.
+//
+// Both wait queues are woken: a producer parked on a full buffer at the
+// moment of a rollback-triggered reset must re-check its condition (the
+// buffer is now empty, so it proceeds), and a consumer parked on an
+// empty buffer must observe the renumbered stream rather than sleep
+// through the reopen. Without the wakeups such a task stays wedged
+// forever — no future append can reach a queue nobody ever wakes.
 func (b *Buffer) Reset() {
 	b.q = nil
 	b.seq = 0
 	b.closed = false
 	b.HighWater = 0
 	b.ProducerBlocked = 0
+	b.Dropped = 0
+	b.Rec.Inc(obs.CRingResets)
+	b.Rec.SetGauge(obs.GRingOccupancy, 0)
+	b.Rec.Emit(obs.KindRingReset, "ringbuf", "reset: entries discarded, seq restarted at 0")
+	b.notFull.WakeAll(b.sched)
+	b.notEmpty.WakeAll(b.sched)
 }

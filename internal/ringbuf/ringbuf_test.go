@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 )
@@ -465,5 +466,205 @@ func TestBoundedOccupancyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestResetWakesBlockedProducer is the regression test for the Reset
+// wakeup bug: a producer parked on a full buffer when Reset fires must
+// be woken and observe the now-empty buffer. Before the fix, Reset
+// cleared the queue without waking either wait queue, so the producer
+// stayed parked forever — the scheduler deadlocked with a runnable-free
+// task set.
+func TestResetWakesBlockedProducer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 1)
+	var produced []uint64
+	s.Go("producer", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "a"))
+		// Blocks: buffer full. Only the Reset below can free it.
+		if !b.PutEvent(tk, ev(sysabi.OpWrite, "b")) {
+			t.Error("Put after Reset reported closed")
+			return
+		}
+		e, ok := b.Peek()
+		if !ok {
+			t.Error("entry missing after post-Reset Put")
+			return
+		}
+		produced = append(produced, e.Event.Seq)
+	})
+	s.Go("resetter", func(tk *sim.Task) {
+		tk.Sleep(time.Second) // the producer is parked by now
+		if b.ProducerBlocked == 0 {
+			t.Error("producer never blocked; test is not exercising the wakeup")
+		}
+		b.Reset()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v (producer still parked across Reset?)", err)
+	}
+	// The renumbered stream restarts at zero: the pre-reset "a" (seq 0)
+	// was discarded, and the post-reset "b" gets seq 0 again.
+	if len(produced) != 1 || produced[0] != 0 {
+		t.Fatalf("post-reset seqs = %v, want [0]", produced)
+	}
+}
+
+// TestResetWakesBlockedConsumer: the symmetric case — a consumer parked
+// on an empty buffer must re-check after Reset reopens the stream, and
+// then consume the renumbered entries.
+func TestResetWakesBlockedConsumer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	var got uint64 = 99
+	s.Go("consumer", func(tk *sim.Task) {
+		e, ok := b.Get(tk) // blocks: empty
+		if !ok {
+			t.Error("Get reported closed")
+			return
+		}
+		got = e.Event.Seq
+	})
+	s.Go("resetter", func(tk *sim.Task) {
+		tk.Sleep(time.Second)
+		b.Reset()
+		// The woken consumer sees the buffer still empty and parks again;
+		// this Put delivers the first renumbered entry.
+		b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("seq after reset = %d, want 0", got)
+	}
+}
+
+// TestResetRenumbersMidStream: sequence numbering restarts at zero even
+// when the buffer was mid-stream (seq well above zero) at reset time.
+func TestResetRenumbersMidStream(t *testing.T) {
+	s := sim.New()
+	b := New(s, 8)
+	s.Go("t", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		}
+		b.Get(tk)
+		b.Get(tk)
+		if b.NextSeq() != 5 {
+			t.Fatalf("NextSeq = %d before reset", b.NextSeq())
+		}
+		b.Reset()
+		if b.NextSeq() != 0 || !b.Empty() {
+			t.Fatalf("after reset: NextSeq=%d Len=%d", b.NextSeq(), b.Len())
+		}
+		b.PutEvent(tk, ev(sysabi.OpWrite, "y"))
+		e, _ := b.Get(tk)
+		if e.Event.Seq != 0 {
+			t.Fatalf("first post-reset seq = %d, want 0", e.Event.Seq)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestPeekOnClosedDrainedBuffer: Peek is a pure observation — on a
+// closed buffer it keeps returning pending entries until they are
+// drained, then reports nothing without blocking or panicking.
+func TestPeekOnClosedDrainedBuffer(t *testing.T) {
+	s := sim.New()
+	b := New(s, 4)
+	s.Go("t", func(tk *sim.Task) {
+		b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		b.Close()
+		if e, ok := b.Peek(); !ok || string(e.Event.Call.Buf) != "x" {
+			t.Errorf("Peek on closed buffer with pending entry = %v %v", e, ok)
+		}
+		b.Get(tk)
+		if _, ok := b.Peek(); ok {
+			t.Error("Peek on closed-and-drained buffer reported an entry")
+		}
+		if _, ok := b.Get(tk); ok {
+			t.Error("Get on closed-and-drained buffer reported an entry")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestDroppedCounter: TryAppend on a full buffer counts each refusal in
+// Dropped, and Reset clears it with the rest of the accounting.
+func TestDroppedCounter(t *testing.T) {
+	s := sim.New()
+	b := New(s, 2)
+	s.Go("t", func(tk *sim.Task) {
+		b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "a")})
+		b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "b")})
+		for i := 0; i < 3; i++ {
+			if b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "x")}) {
+				t.Error("TryAppend on full buffer succeeded")
+			}
+		}
+		if b.Dropped != 3 {
+			t.Errorf("Dropped = %d, want 3", b.Dropped)
+		}
+		// A refusal on a closed buffer is not a discard-policy drop.
+		b.Close()
+		b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "y")})
+		if b.Dropped != 3 {
+			t.Errorf("Dropped = %d after closed TryAppend, want 3", b.Dropped)
+		}
+		b.Reset()
+		if b.Dropped != 0 || b.HighWater != 0 || b.ProducerBlocked != 0 {
+			t.Errorf("Reset left accounting: dropped=%d hw=%d blocked=%d",
+				b.Dropped, b.HighWater, b.ProducerBlocked)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestRecorderMetricsFlow: with a recorder attached, the buffer's
+// accounting (puts, gets, blocks, drops, high water) lands in the
+// metrics registry and survives into a snapshot.
+func TestRecorderMetricsFlow(t *testing.T) {
+	s := sim.New()
+	rec := obs.New(s.Now, obs.Options{})
+	b := New(s, 2)
+	b.Rec = rec
+	s.Go("producer", func(tk *sim.Task) {
+		for i := 0; i < 4; i++ {
+			b.PutEvent(tk, ev(sysabi.OpWrite, "x"))
+		}
+		b.TryAppend(Entry{Kind: KindSyscall, Event: ev(sysabi.OpWrite, "x")})
+	})
+	s.Go("consumer", func(tk *sim.Task) {
+		tk.Sleep(time.Second) // let the producer fill and block
+		for i := 0; i < 4; i++ {
+			b.Get(tk)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters[obs.CRingPut] != 4 || snap.Counters[obs.CRingGet] != 4 {
+		t.Fatalf("put/get = %d/%d", snap.Counters[obs.CRingPut], snap.Counters[obs.CRingGet])
+	}
+	if snap.Counters[obs.CRingBlocked] != int64(b.ProducerBlocked) || b.ProducerBlocked == 0 {
+		t.Fatalf("blocked counter %d vs ProducerBlocked %d",
+			snap.Counters[obs.CRingBlocked], b.ProducerBlocked)
+	}
+	if snap.Counters[obs.CRingDropped] != 1 {
+		t.Fatalf("dropped counter = %d", snap.Counters[obs.CRingDropped])
+	}
+	if snap.Gauges[obs.GRingHighWater] != int64(2) {
+		t.Fatalf("highwater gauge = %d", snap.Gauges[obs.GRingHighWater])
+	}
+	if h := snap.Histograms[obs.HRingBlockWait]; h.Count == 0 || h.MaxNS <= 0 {
+		t.Fatalf("block wait histogram = %+v", h)
 	}
 }
