@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check metrics-smoke bench bench-metrics experiments examples clean
+.PHONY: all build test vet check metrics-smoke perf-smoke bench bench-metrics bench-perf bench-ring experiments examples clean
 
 all: check
 
@@ -20,7 +20,9 @@ test:
 # then the benchtool metrics smoke run.
 check: vet
 	$(GO) test -race ./...
+	$(GO) test -bench . -benchtime=1x ./internal/ringbuf/...
 	$(MAKE) metrics-smoke
+	$(MAKE) perf-smoke
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -34,9 +36,27 @@ metrics-smoke:
 		{ echo "BENCH_metrics.json is stale; run 'make bench-metrics' to regenerate"; rm -f .bench_metrics_smoke.json; exit 1; }
 	rm -f .bench_metrics_smoke.json
 
+# Same contract for the perf baseline: the scenarios are virtual-time
+# deterministic, so the committed BENCH_perf.json must reproduce
+# byte-for-byte (regenerate with `make bench-perf` after intentional
+# pipeline-cost changes; see docs/PERFORMANCE.md).
+perf-smoke:
+	$(GO) run ./cmd/benchtool -experiment perf -json .bench_perf_smoke.json >/dev/null
+	diff -u BENCH_perf.json .bench_perf_smoke.json || \
+		{ echo "BENCH_perf.json is stale; run 'make bench-perf' to regenerate"; rm -f .bench_perf_smoke.json; exit 1; }
+	rm -f .bench_perf_smoke.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
+
+# Regenerate the committed perf-trajectory baseline.
+bench-perf:
+	$(GO) run ./cmd/benchtool -experiment perf -json BENCH_perf.json >/dev/null
+
+# Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
+bench-ring:
+	$(GO) test -bench . -benchmem ./internal/ringbuf/
 
 # One testing.B bench per paper table/figure, plus ablations.
 bench:

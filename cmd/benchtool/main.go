@@ -8,6 +8,7 @@
 //	benchtool -experiment chaos    # seeded fault matrix (§6.2 extended)
 //	benchtool -experiment rolling  # rolling-upgrade comparison (§1.1 extension)
 //	benchtool -experiment metrics  # flight-recorder export (docs/OBSERVABILITY.md)
+//	benchtool -experiment perf     # perf-trajectory baseline (docs/PERFORMANCE.md)
 //	benchtool -experiment all      # everything
 //
 // The metrics experiment emits a machine-readable report; -json writes
@@ -16,6 +17,12 @@
 //
 //	benchtool -experiment metrics -json BENCH_metrics.json
 //	benchtool -validate BENCH_metrics.json
+//
+// The perf experiment likewise writes its report with -json; the
+// committed BENCH_perf.json is the baseline artifact that `make check`
+// diffs byte-for-byte (regenerate with `make bench-perf`):
+//
+//	benchtool -experiment perf -json BENCH_perf.json
 //
 // All measurements run in deterministic virtual time; see DESIGN.md for
 // the substitution rationale and internal/bench/costmodel.go for the
@@ -34,7 +41,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|all")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
@@ -118,6 +125,26 @@ func main() {
 				fail(fmt.Errorf("emitted report failed schema validation: %w", err))
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (schema-valid %s)\n", *jsonOut, bench.MetricsSchemaID)
+		}
+	}
+	if run("perf") {
+		report, err := bench.RunPerfReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatPerfReport(report))
+		// -json targets the selected experiment; when running "all" the
+		// metrics report owns the flag.
+		if *jsonOut != "" && *experiment == "perf" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.PerfSchemaID)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())

@@ -101,6 +101,7 @@ func report(w *apptest.World) {
 
 func demoTKV() error {
 	w := apptest.NewWorld(core.Config{})
+	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
 	w.C.Start(tkv.New("v1", false))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()
@@ -166,6 +167,7 @@ func demoRedis(fault string) error {
 		return fmt.Errorf("redis supports faults: newcode, xform, stall")
 	}
 	w := apptest.NewWorld(cfg)
+	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
 	if plan != nil {
 		plan.Rec = w.Rec // injected faults join the flight-recorder timeline
 	}
@@ -230,6 +232,7 @@ func demoMemcached(fault string) error {
 		return fmt.Errorf("memcached supports faults: xform, timing")
 	}
 	w := apptest.NewWorld(cfg)
+	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
 	w.C.Start(memcache.New(memcache.SpecFor("1.2.2", 1)))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()
@@ -290,6 +293,7 @@ func demoMemcached(fault string) error {
 
 func demoVsftpd() error {
 	w := apptest.NewWorld(core.Config{})
+	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
 	w.K.WriteFile(ftpd.Root+"/readme.txt", []byte("welcome to the mvedsua ftp demo"))
 	w.C.Start(ftpd.New(ftpd.SpecFor("2.0.3")))
 	fwd, _ := ftpd.RulesFor("2.0.3", "2.0.4")

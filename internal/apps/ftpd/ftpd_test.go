@@ -14,6 +14,7 @@ import (
 func serve(t *testing.T, version string, driver func(w *apptest.World, tk *sim.Task)) *apptest.World {
 	t.Helper()
 	w := apptest.NewWorld(core.Config{})
+	w.C.Monitor().EnableEventLog(0) // failure messages print the lifecycle log
 	w.K.WriteFile(Root+"/hello.txt", []byte("hello"))
 	w.C.Start(New(SpecFor(version)))
 	w.S.Go("driver", func(tk *sim.Task) {

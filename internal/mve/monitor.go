@@ -25,6 +25,7 @@ package mve
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mvedsua/internal/dsl"
@@ -210,7 +211,18 @@ type Monitor struct {
 
 	promoteRequested bool
 	divergences      []Divergence
-	events           []string // coarse monitor event log
+
+	// Coarse monitor event log. Disabled by default: logf formats (and
+	// retains) nothing unless EnableEventLog was called, mirroring the
+	// obs.Recorder.Enabled gate, so hot paths that narrate (divergences,
+	// promotions, rule hits) don't pay fmt.Sprintf for a log nobody
+	// reads. When enabled, retention is bounded: the newest logCap lines
+	// are kept and older ones are counted in eventsDropped.
+	logEnabled    bool
+	logCap        int
+	events        []string // circular once len == logCap
+	eventsStart   int      // index of the oldest retained line
+	eventsDropped int64
 
 	// Stats aggregates monitor activity for reporting.
 	Stats Stats
@@ -255,11 +267,54 @@ func (m *Monitor) Recorder() *obs.Recorder { return m.rec }
 // Divergences returns the divergences observed so far.
 func (m *Monitor) Divergences() []Divergence { return m.divergences }
 
-// EventLog returns the coarse monitor event log.
-func (m *Monitor) EventLog() []string { return m.events }
+// DefaultEventLogCap bounds the event log when EnableEventLog is called
+// with capacity <= 0.
+const DefaultEventLogCap = 512
+
+// EnableEventLog turns the coarse monitor event log on, retaining at
+// most capacity lines (DefaultEventLogCap when <= 0). When the log
+// overflows, the oldest lines are discarded and counted; EventLog always
+// returns the newest tail. Call before starting procs to capture the
+// full lifecycle.
+func (m *Monitor) EnableEventLog(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultEventLogCap
+	}
+	m.logEnabled = true
+	m.logCap = capacity
+}
+
+// EventLogEnabled reports whether logf currently retains anything.
+func (m *Monitor) EventLogEnabled() bool { return m.logEnabled }
+
+// EventLog returns the retained tail of the monitor event log, oldest
+// first.
+func (m *Monitor) EventLog() []string {
+	if len(m.events) < m.logCap || m.eventsStart == 0 {
+		return m.events
+	}
+	out := make([]string, 0, len(m.events))
+	out = append(out, m.events[m.eventsStart:]...)
+	out = append(out, m.events[:m.eventsStart]...)
+	return out
+}
+
+// EventLogDropped returns how many log lines were evicted by the cap.
+func (m *Monitor) EventLogDropped() int64 { return m.eventsDropped }
 
 func (m *Monitor) logf(format string, args ...interface{}) {
-	m.events = append(m.events, fmt.Sprintf("[%8.3fs] ", m.sched.Now().Seconds())+fmt.Sprintf(format, args...))
+	if !m.logEnabled {
+		return
+	}
+	line := fmt.Sprintf("[%8.3fs] ", m.sched.Now().Seconds()) + fmt.Sprintf(format, args...)
+	if len(m.events) < m.logCap {
+		m.events = append(m.events, line)
+		return
+	}
+	// Overwrite the oldest line, keeping the newest logCap.
+	m.events[m.eventsStart] = line
+	m.eventsStart = (m.eventsStart + 1) % m.logCap
+	m.eventsDropped++
 }
 
 // Proc is one version instance's view of the system: it implements
@@ -286,6 +341,7 @@ type Proc struct {
 	rawByTID    map[int][]sysabi.Event // pulled from the buffer, pre-rewrite
 	expByTID    map[int][]*expGroup    // rewritten, awaiting validation
 	tidWait     map[int]*sim.WaitQueue // follower threads awaiting their events
+	wakeScratch []int                  // reused by wakeAllTIDs for sorted wake order
 	pulling     bool                   // one thread pulls from the buffer at a time
 	promoteSeen bool                   // promotion entry seen; drain then switch
 	globalNext  uint64                 // next raw seq to retire (leader order)
@@ -302,6 +358,12 @@ type Proc struct {
 	// progress counts consumption steps (buffer pulls and validated
 	// events) while this proc follows; the liveness watchdog samples it.
 	progress int64
+
+	// drain and recq are reusable scratch slices for the batched ring
+	// operations (consumer drains and the leader's record path), keeping
+	// the per-syscall hot paths allocation-free in steady state.
+	drain []ringbuf.Entry
+	recq  []ringbuf.Entry
 
 	// Syscalls counts calls dispatched through this proc.
 	Syscalls int
@@ -325,9 +387,22 @@ func (p *Proc) waitFor(tid int) *sim.WaitQueue {
 	return q
 }
 
+// wakeAllTIDs wakes every thread parked on a per-TID queue, in ascending
+// TID order. The order matters: this runs on the validation hot path
+// (group retirement), and waking in Go's randomized map order made
+// multithreaded-follower interleavings differ from run to run, breaking
+// the bit-reproducibility the divergence tests and golden artifacts rely
+// on. The sorted scratch slice is reused across calls to keep the path
+// allocation-free in steady state.
 func (p *Proc) wakeAllTIDs() {
-	for _, q := range p.tidWait {
-		q.WakeAll(p.m.sched)
+	tids := p.wakeScratch[:0]
+	for tid := range p.tidWait {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	p.wakeScratch = tids
+	for _, tid := range tids {
+		p.tidWait[tid].WakeAll(p.m.sched)
 	}
 }
 
@@ -659,23 +734,32 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 		p.m.rec.Inc(obs.CMVERecorded)
 		return res
 	}
-	// Blocking policy: Put parks the leader on a full buffer. It reports
-	// false only if the buffer was closed underneath us — the watchdog
-	// rescued a leader blocked behind a hung follower — in which case the
-	// event is dropped along with the follower.
-	if p.m.buf.PutEvent(t, ev) {
-		p.m.Stats.Recorded++
-		p.m.rec.Inc(obs.CMVERecorded)
-	} else {
+	// Blocking policy: the record path goes through the batch API — every
+	// event this dispatch emits is appended in one PutBatch call (today a
+	// dispatch produces exactly one syscall event, so the batch has one
+	// entry; the plumbing is shared with multi-event producers). PutBatch
+	// parks the leader on a full buffer; it appends fewer entries only if
+	// the buffer was closed underneath us — the watchdog rescued a leader
+	// blocked behind a hung follower — in which case the tail is dropped
+	// along with the follower.
+	p.recq = append(p.recq[:0], ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev})
+	n, _ := p.m.buf.PutBatch(t, p.recq)
+	if n == 0 {
 		return res
 	}
+	p.m.Stats.Recorded += int64(n)
+	p.m.rec.Add(obs.CMVERecorded, int64(n))
 	if p.m.Lockstep {
 		if p.m.costs.LockstepSync > 0 {
 			t.Advance(p.m.costs.LockstepSync)
 		}
-		// Wait for the follower to drain this event (MUC/Mx model).
-		for !p.m.buf.Empty() && p.m.follower != nil && !p.m.buf.Closed() {
-			t.Yield()
+		// Wait for the follower to drain this event (MUC/Mx model). The
+		// blocking wait replaces a yield-per-scheduler-round poll: the
+		// leader still resumes at the same virtual instant (the drain
+		// that empties the buffer, or teardown closing it), but without
+		// burning a dispatch per poll while the follower catches up.
+		if p.m.follower != nil {
+			p.m.buf.WaitDrained(t)
 		}
 	}
 	return res
@@ -815,34 +899,51 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 			t.Block(p.waitFor(tid))
 			continue
 		}
-		// Pull one more entry from the buffer. Only one thread pulls at
-		// a time; the others wait to be fed.
+		// Pull more entries from the buffer — up to this thread's
+		// lookahead shortfall in one batched drain, so a multi-event
+		// rewrite rule costs one scheduler round-trip instead of one per
+		// event. The bound matters: draining beyond the shortfall would
+		// pull entries earlier than the unbatched path did, changing
+		// producer-blocking instants and with them the virtual-time
+		// timeline the golden artifacts pin down. Only one thread pulls
+		// at a time; the others wait to be fed.
 		if p.pulling {
 			t.Block(p.waitFor(tid))
 			continue
 		}
+		want := 1
+		if raw := p.rawByTID[tid]; len(raw) > 0 {
+			if need := p.engine.NeedsLookahead(raw[0]); need > len(raw) {
+				want = need - len(raw)
+			}
+		}
 		p.pulling = true
-		e, ok := p.m.buf.Get(t)
+		p.drain = p.m.buf.DrainUpTo(t, p.drain[:0], want)
 		p.pulling = false
-		p.progress++
-		if !ok {
+		p.progress += int64(len(p.drain))
+		if len(p.drain) == 0 {
 			// Buffer closed: the duo is being torn down. Wake peers so
-			// they observe the teardown too, then park.
+			// they observe the teardown too, then park. (The progress
+			// tick mirrors the per-pull accounting of the unbatched
+			// path, which charged the failed pull too.)
+			p.progress++
 			p.wakeAllTIDs()
 			p.parkForever(t)
 		}
-		switch e.Kind {
-		case ringbuf.KindPromote:
-			p.promoteSeen = true
-			p.wakeAllTIDs()
-		case ringbuf.KindShutdown:
-			p.wakeAllTIDs()
-			p.parkForever(t)
-		default:
-			etid := e.Event.Call.TID
-			p.rawByTID[etid] = append(p.rawByTID[etid], e.Event)
-			if etid != tid {
-				p.waitFor(etid).WakeAll(p.m.sched)
+		for _, e := range p.drain {
+			switch e.Kind {
+			case ringbuf.KindPromote:
+				p.promoteSeen = true
+				p.wakeAllTIDs()
+			case ringbuf.KindShutdown:
+				p.wakeAllTIDs()
+				p.parkForever(t)
+			default:
+				etid := e.Event.Call.TID
+				p.rawByTID[etid] = append(p.rawByTID[etid], e.Event)
+				if etid != tid {
+					p.waitFor(etid).WakeAll(p.m.sched)
+				}
 			}
 		}
 	}
@@ -864,18 +965,25 @@ func (p *Proc) discardTail(t *sim.Task, tid int) {
 			t.Block(p.waitFor(tid))
 			continue
 		}
+		// Unlike fillExpected, the drain here is unbounded: everything
+		// pending is garbage to be discarded, so taking it all in one
+		// call removes the same entries at the same virtual instant a
+		// one-at-a-time loop would (consecutive non-blocking pulls never
+		// yield between entries).
 		p.pulling = true
-		e, ok := p.m.buf.Get(t)
+		p.drain = p.m.buf.DrainInto(t, p.drain[:0])
 		p.pulling = false
-		if !ok {
+		if len(p.drain) == 0 {
 			// Buffer closed underneath us: rollback/teardown won the race.
 			p.wakeAllTIDs()
 			p.parkForever(t)
 		}
-		if e.Kind == ringbuf.KindPromote {
-			p.promoteSeen = true
+		for _, e := range p.drain {
+			if e.Kind == ringbuf.KindPromote {
+				p.promoteSeen = true
+			}
+			// Raw syscall events past the crash point are dropped unreplayed.
 		}
-		// Raw syscall events past the crash point are dropped unreplayed.
 	}
 	p.rawByTID = make(map[int][]sysabi.Event)
 	p.expByTID = make(map[int][]*expGroup)

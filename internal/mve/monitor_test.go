@@ -609,6 +609,7 @@ func TestCompareMatrix(t *testing.T) {
 
 func TestEventLogRecordsLifecycle(t *testing.T) {
 	s, k, m := world(8, Costs{})
+	m.EnableEventLog(0)
 	leader := m.StartSingleLeader("v0")
 	follower := m.AttachFollower("v1", nil)
 	_ = leader

@@ -1,0 +1,115 @@
+package ringbuf
+
+import (
+	"testing"
+
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// Microbenchmarks for the circular ring. The acceptance bar for the v2
+// storage layout is steady-state allocation-free operation: after the
+// backing array warms up, Put/Get and the batch calls must report ~0
+// B/op (the v1 slice-shifting queue reallocated on every Put once Get
+// had nil'd the drained backing array; BenchmarkReferenceShiftQueue in
+// property_test.go keeps that cost measurable for contrast).
+//
+// Run with:
+//
+//	go test -bench . -benchmem ./internal/ringbuf/
+//
+// `make check` smoke-runs every benchmark for one iteration so they
+// cannot silently rot.
+
+// benchEntry returns a syscall entry with a payload, so the benchmarks
+// move realistic data through the ring.
+func benchEntry() Entry {
+	return Entry{Kind: KindSyscall, Event: sysabi.Event{Call: sysabi.Call{Op: sysabi.OpWrite, FD: 3, TID: 1}}}
+}
+
+// run spins up a scheduler, runs body inside one task, and drains.
+func run(b *testing.B, body func(t *sim.Task)) {
+	b.Helper()
+	s := sim.New()
+	s.Go("bench", func(t *sim.Task) { body(t) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPutGet alternates one Put and one Get: the leader-record /
+// follower-validate steady state at low occupancy.
+func BenchmarkPutGet(b *testing.B) {
+	s := sim.New()
+	buf := New(s, 1024)
+	e := benchEntry()
+	run(b, func(t *sim.Task) {
+		buf.Put(t, e) // warm the backing array
+		buf.Get(t)
+		for i := 0; i < b.N; i++ {
+			buf.Put(t, e)
+			buf.Get(t)
+		}
+	})
+}
+
+// BenchmarkPutBatchDrain moves entries in batches of 64: one PutBatch,
+// one DrainInto, reusing the drain scratch slice as the mve consumers do.
+func BenchmarkPutBatchDrain(b *testing.B) {
+	s := sim.New()
+	buf := New(s, 1024)
+	batch := make([]Entry, 64)
+	for i := range batch {
+		batch[i] = benchEntry()
+	}
+	var scratch []Entry
+	run(b, func(t *sim.Task) {
+		buf.PutBatch(t, batch) // warm the backing array
+		scratch = buf.DrainInto(t, scratch[:0])
+		for i := 0; i < b.N; i++ {
+			buf.PutBatch(t, batch)
+			scratch = buf.DrainInto(t, scratch[:0])
+		}
+	})
+}
+
+// BenchmarkWraparound cycles a small ring so head continually crosses
+// the end of the backing array (the masked-index hot case).
+func BenchmarkWraparound(b *testing.B) {
+	s := sim.New()
+	buf := New(s, 16)
+	e := benchEntry()
+	run(b, func(t *sim.Task) {
+		for i := 0; i < 5; i++ { // park head mid-array
+			buf.Put(t, e)
+		}
+		for i := 0; i < b.N; i++ {
+			buf.Put(t, e)
+			buf.Put(t, e)
+			buf.Put(t, e)
+			buf.Get(t)
+			buf.Get(t)
+			buf.Get(t)
+		}
+	})
+}
+
+// BenchmarkNearFull oscillates occupancy across the capacity boundary,
+// exercising the full-check and the full→not-full wake edge with no
+// waiter parked.
+func BenchmarkNearFull(b *testing.B) {
+	s := sim.New()
+	buf := New(s, 64)
+	e := benchEntry()
+	run(b, func(t *sim.Task) {
+		for buf.Len() < buf.Cap()-1 {
+			buf.Put(t, e)
+		}
+		for i := 0; i < b.N; i++ {
+			buf.Put(t, e) // reaches capacity
+			buf.Get(t)    // back to capacity-1
+		}
+	})
+}

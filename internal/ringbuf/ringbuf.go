@@ -10,6 +10,20 @@
 //
 // Besides syscall events the buffer carries control entries: promotion
 // (the leader demotes itself, §3.2 t4) and termination.
+//
+// Storage is a true circular buffer: head/count indexes over a
+// power-of-two backing array, so Put and Get are O(1) with no slice
+// shifting and no steady-state allocation. The backing array still grows
+// lazily toward the configured capacity, so a 2^24-entry buffer (the
+// paper's largest, §6.1) only consumes memory proportional to the
+// occupancy it actually reaches.
+//
+// Wakeups are transition-only: consumers are woken when the buffer goes
+// empty→non-empty and producers when it goes full→not-full, never on
+// other appends or removes. This is behaviorally identical to waking on
+// every operation — a task only parks at the corresponding boundary, so
+// the first opposite operation after it parks *is* the transition — but
+// it keeps the wake bookkeeping off the hot path.
 package ringbuf
 
 import (
@@ -50,19 +64,23 @@ type Entry struct {
 	Event sysabi.Event
 }
 
+// minStorage is the initial backing-array size (entries). Small so tiny
+// test buffers stay tiny; doubling reaches any capacity quickly.
+const minStorage = 8
+
 // Buffer is a single-producer single-consumer ring of Entries with
-// cooperative blocking semantics on the sim scheduler. Storage grows
-// lazily up to the configured capacity, so a 2^24-entry buffer (the
-// paper's largest, §6.1) only consumes memory proportional to its actual
-// occupancy.
+// cooperative blocking semantics on the sim scheduler.
 type Buffer struct {
 	sched    *sim.Scheduler
 	capacity int
-	q        []Entry // q[0] is the oldest pending entry
+	buf      []Entry // circular storage; len(buf) is a power of two
+	head     int     // index of the oldest pending entry
+	count    int     // current occupancy
 	seq      uint64  // sequence numbers assigned to syscall events
 
-	notEmpty sim.WaitQueue
-	notFull  sim.WaitQueue
+	notEmpty sim.WaitQueue // consumers parked on an empty buffer
+	notFull  sim.WaitQueue // producers parked on a full buffer
+	drained  sim.WaitQueue // WaitDrained callers parked until empty
 
 	closed bool
 
@@ -94,13 +112,13 @@ func New(sched *sim.Scheduler, capacity int) *Buffer {
 func (b *Buffer) Cap() int { return b.capacity }
 
 // Len returns the current occupancy.
-func (b *Buffer) Len() int { return len(b.q) }
+func (b *Buffer) Len() int { return b.count }
 
 // Empty reports whether no entries are pending.
-func (b *Buffer) Empty() bool { return len(b.q) == 0 }
+func (b *Buffer) Empty() bool { return b.count == 0 }
 
 // Full reports whether the buffer has no free slots.
-func (b *Buffer) Full() bool { return len(b.q) >= b.capacity }
+func (b *Buffer) Full() bool { return b.count >= b.capacity }
 
 // Closed reports whether Close has been called.
 func (b *Buffer) Closed() bool { return b.closed }
@@ -108,9 +126,37 @@ func (b *Buffer) Closed() bool { return b.closed }
 // NextSeq returns the sequence number the next recorded event will get.
 func (b *Buffer) NextSeq() uint64 { return b.seq }
 
-// Put appends an entry, blocking the producer task while the buffer is
-// full. It reports false if the buffer was closed.
-func (b *Buffer) Put(t *sim.Task, e Entry) bool {
+// pow2ceil returns the smallest power of two >= n (n >= 1).
+func pow2ceil(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// grow enlarges the backing array (occupancy == len(buf) < capacity),
+// unwrapping the circular contents so head restarts at zero.
+func (b *Buffer) grow() {
+	size := minStorage
+	if len(b.buf) > 0 {
+		size = len(b.buf) * 2
+	}
+	if max := pow2ceil(b.capacity); size > max {
+		size = max
+	}
+	next := make([]Entry, size)
+	for i := 0; i < b.count; i++ {
+		next[i] = b.buf[(b.head+i)&(len(b.buf)-1)]
+	}
+	b.buf = next
+	b.head = 0
+}
+
+// blockUntilNotFull parks the producer until a slot frees up or the
+// buffer closes, charging the per-episode accounting Put and PutBatch
+// share. It reports false if the buffer is closed.
+func (b *Buffer) blockUntilNotFull(t *sim.Task) bool {
 	for b.Full() {
 		if b.closed {
 			return false
@@ -118,7 +164,7 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 		b.ProducerBlocked++
 		b.Rec.Inc(obs.CRingBlocked)
 		if b.Rec.Enabled() {
-			b.Rec.Emitf(obs.KindRingBlock, t.Name(), "buffer full (%d/%d)", len(b.q), b.capacity)
+			b.Rec.Emitf(obs.KindRingBlock, t.Name(), "buffer full (%d/%d)", b.count, b.capacity)
 			blockedAt := t.Now()
 			t.Block(&b.notFull)
 			b.Rec.Observe(obs.HRingBlockWait, t.Now()-blockedAt)
@@ -126,31 +172,60 @@ func (b *Buffer) Put(t *sim.Task, e Entry) bool {
 			t.Block(&b.notFull)
 		}
 	}
-	if b.closed {
+	return !b.closed
+}
+
+// Put appends an entry, blocking the producer task while the buffer is
+// full. It reports false if the buffer was closed.
+func (b *Buffer) Put(t *sim.Task, e Entry) bool {
+	if !b.blockUntilNotFull(t) {
 		return false
 	}
 	b.append(e)
 	return true
 }
 
+// PutBatch appends every entry in order, blocking whenever the buffer is
+// full, and returns how many entries were appended. Appended == len(batch)
+// unless the buffer closes mid-batch, in which case the tail is dropped
+// and ok is false. Occupancy accounting and sequence numbering are
+// per-entry, exactly as if each entry had been Put individually.
+func (b *Buffer) PutBatch(t *sim.Task, batch []Entry) (appended int, ok bool) {
+	for _, e := range batch {
+		if !b.blockUntilNotFull(t) {
+			return appended, false
+		}
+		b.append(e)
+		appended++
+	}
+	return appended, true
+}
+
 // append stores one entry (capacity already checked) and updates the
-// occupancy accounting shared by Put and TryAppend.
+// occupancy accounting shared by Put, PutBatch and TryAppend.
 func (b *Buffer) append(e Entry) {
 	if e.Kind == KindSyscall {
 		e.Event.Seq = b.seq
 		b.seq++
 	}
-	b.q = append(b.q, e)
-	if n := len(b.q); n > b.HighWater {
-		b.HighWater = n
+	if b.count == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.count)&(len(b.buf)-1)] = e
+	b.count++
+	if b.count > b.HighWater {
+		b.HighWater = b.count
 	}
 	if b.Rec.Enabled() {
 		b.Rec.Inc(obs.CRingPut)
-		b.Rec.SetGauge(obs.GRingOccupancy, int64(len(b.q)))
+		b.Rec.SetGauge(obs.GRingOccupancy, int64(b.count))
 		b.Rec.MaxGauge(obs.GRingHighWater, int64(b.HighWater))
-		b.Rec.Emitf(obs.KindRingPut, e.Kind.String(), "%s (occ %d/%d)", entryDetail(e), len(b.q), b.capacity)
+		b.Rec.Emitf(obs.KindRingPut, e.Kind.String(), "%s (occ %d/%d)", entryDetail(e), b.count, b.capacity)
 	}
-	b.notEmpty.WakeAll(b.sched)
+	if b.count == 1 {
+		// empty→non-empty: the only edge a consumer can be parked behind.
+		b.notEmpty.WakeAll(b.sched)
+	}
 }
 
 // entryDetail renders an entry for the trace.
@@ -173,7 +248,7 @@ func (b *Buffer) TryAppend(e Entry) bool {
 			b.Rec.Inc(obs.CRingDropped)
 			if b.Rec.Enabled() {
 				b.Rec.Emitf(obs.KindRingDiscard, e.Kind.String(), "%s dropped (%d total, occ %d/%d)",
-					entryDetail(e), b.Dropped, len(b.q), b.capacity)
+					entryDetail(e), b.Dropped, b.count, b.capacity)
 			}
 		}
 		return false
@@ -187,6 +262,29 @@ func (b *Buffer) PutEvent(t *sim.Task, ev sysabi.Event) bool {
 	return b.Put(t, Entry{Kind: KindSyscall, Event: ev})
 }
 
+// take removes and returns the oldest entry (occupancy already checked),
+// charging the per-entry accounting Get and the drain calls share.
+func (b *Buffer) take(t *sim.Task) Entry {
+	e := b.buf[b.head]
+	b.buf[b.head] = Entry{} // release payload references promptly
+	b.head = (b.head + 1) & (len(b.buf) - 1)
+	wasFull := b.Full()
+	b.count--
+	if b.Rec.Enabled() {
+		b.Rec.Inc(obs.CRingGet)
+		b.Rec.SetGauge(obs.GRingOccupancy, int64(b.count))
+		b.Rec.Emitf(obs.KindRingGet, t.Name(), "%s (occ %d/%d)", entryDetail(e), b.count, b.capacity)
+	}
+	if wasFull {
+		// full→not-full: the only edge a producer can be parked behind.
+		b.notFull.WakeAll(b.sched)
+	}
+	if b.count == 0 {
+		b.drained.WakeAll(b.sched)
+	}
+	return e
+}
+
 // Get removes and returns the oldest entry, blocking the consumer task
 // while the buffer is empty. It reports false if the buffer was closed and
 // fully drained.
@@ -197,19 +295,46 @@ func (b *Buffer) Get(t *sim.Task) (Entry, bool) {
 		}
 		t.Block(&b.notEmpty)
 	}
-	e := b.q[0]
-	b.q[0] = Entry{} // release payload references promptly
-	b.q = b.q[1:]
-	if len(b.q) == 0 {
-		b.q = nil // let the backing array be collected
+	return b.take(t), true
+}
+
+// DrainUpTo removes up to max pending entries (all of them when max <= 0)
+// in one call, appending them to dst and returning the extended slice. It
+// blocks while the buffer is empty; a return with no entries appended
+// means the buffer was closed and fully drained. Unlike repeated Get
+// calls, the whole batch transfers in a single scheduler round-trip, but
+// occupancy accounting stays per-entry (HighWater, occupancy gauge and
+// the put/get counters are indistinguishable from a Get loop).
+func (b *Buffer) DrainUpTo(t *sim.Task, dst []Entry, max int) []Entry {
+	for b.Empty() {
+		if b.closed {
+			return dst
+		}
+		t.Block(&b.notEmpty)
 	}
-	if b.Rec.Enabled() {
-		b.Rec.Inc(obs.CRingGet)
-		b.Rec.SetGauge(obs.GRingOccupancy, int64(len(b.q)))
-		b.Rec.Emitf(obs.KindRingGet, t.Name(), "%s (occ %d/%d)", entryDetail(e), len(b.q), b.capacity)
+	n := b.count
+	if max > 0 && n > max {
+		n = max
 	}
-	b.notFull.WakeAll(b.sched)
-	return e, true
+	for i := 0; i < n; i++ {
+		dst = append(dst, b.take(t))
+	}
+	return dst
+}
+
+// DrainInto removes every pending entry in one call, blocking while the
+// buffer is empty. See DrainUpTo for the contract.
+func (b *Buffer) DrainInto(t *sim.Task, dst []Entry) []Entry {
+	return b.DrainUpTo(t, dst, 0)
+}
+
+// WaitDrained blocks until the buffer is empty or closed. The lockstep
+// leader uses this to wait for the follower to consume each recorded
+// event without burning a scheduler dispatch per poll.
+func (b *Buffer) WaitDrained(t *sim.Task) {
+	for b.count > 0 && !b.closed {
+		t.Block(&b.drained)
+	}
 }
 
 // Peek returns the oldest entry without removing it, if one is available.
@@ -217,7 +342,7 @@ func (b *Buffer) Peek() (Entry, bool) {
 	if b.Empty() {
 		return Entry{}, false
 	}
-	return b.q[0], true
+	return b.buf[b.head], true
 }
 
 // Close marks the buffer closed and wakes all waiters. Pending entries can
@@ -229,6 +354,7 @@ func (b *Buffer) Close() {
 	b.closed = true
 	b.notEmpty.WakeAll(b.sched)
 	b.notFull.WakeAll(b.sched)
+	b.drained.WakeAll(b.sched)
 }
 
 // Reset discards all pending entries and reopens the buffer, reusing the
@@ -236,14 +362,18 @@ func (b *Buffer) Close() {
 // Sequence numbering restarts at zero: the next attached follower
 // validates a fresh stream.
 //
-// Both wait queues are woken: a producer parked on a full buffer at the
+// All wait queues are woken: a producer parked on a full buffer at the
 // moment of a rollback-triggered reset must re-check its condition (the
 // buffer is now empty, so it proceeds), and a consumer parked on an
 // empty buffer must observe the renumbered stream rather than sleep
 // through the reopen. Without the wakeups such a task stays wedged
 // forever — no future append can reach a queue nobody ever wakes.
 func (b *Buffer) Reset() {
-	b.q = nil
+	for i := 0; i < b.count; i++ {
+		b.buf[(b.head+i)&(len(b.buf)-1)] = Entry{}
+	}
+	b.head = 0
+	b.count = 0
 	b.seq = 0
 	b.closed = false
 	b.HighWater = 0
@@ -254,4 +384,5 @@ func (b *Buffer) Reset() {
 	b.Rec.Emit(obs.KindRingReset, "ringbuf", "reset: entries discarded, seq restarted at 0")
 	b.notFull.WakeAll(b.sched)
 	b.notEmpty.WakeAll(b.sched)
+	b.drained.WakeAll(b.sched)
 }

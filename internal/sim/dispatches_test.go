@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// TestDispatchesCountsContextSwitches pins the Dispatches counter the
+// perf experiment reports: every time the scheduler hands the CPU to a
+// task — first run, post-yield, or post-wake — counts as one context
+// switch, and the counter is monotone across the run.
+func TestDispatchesCountsContextSwitches(t *testing.T) {
+	s := New()
+	if s.Dispatches() != 0 {
+		t.Fatalf("Dispatches before Run = %d, want 0", s.Dispatches())
+	}
+	var q WaitQueue
+	s.Go("sleeper", func(tk *Task) {
+		tk.Block(&q) // parked, resumed once by the waker
+	})
+	s.Go("yielder", func(tk *Task) {
+		tk.Yield()
+		tk.Yield()
+	})
+	s.Go("waker", func(tk *Task) {
+		q.WakeAll(s)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// sleeper: initial + post-wake = 2; yielder: initial + 2 yields = 3;
+	// waker: initial = 1.
+	if got := s.Dispatches(); got != 6 {
+		t.Errorf("Dispatches = %d, want 6", got)
+	}
+}

@@ -87,10 +87,11 @@ type Scheduler struct {
 	// task exits via panic. If nil, the panic is re-raised.
 	OnCrash func(CrashInfo)
 
-	crashes []CrashInfo
-	tracing bool
-	trace   []string
-	blocked map[*Task]struct{}
+	crashes    []CrashInfo
+	tracing    bool
+	trace      []string
+	blocked    map[*Task]struct{}
+	dispatches int64
 }
 
 // New returns an empty scheduler with the clock at zero.
@@ -106,6 +107,13 @@ func (s *Scheduler) Now() time.Duration { return s.clock }
 
 // Crashes returns the crashes observed so far, in order.
 func (s *Scheduler) Crashes() []CrashInfo { return s.crashes }
+
+// Dispatches returns the number of context switches performed so far: each
+// time the scheduler hands the CPU to a task counts as one. Tasks that
+// block, sleep, or yield and later resume are dispatched again, so the
+// count measures scheduling churn, not task count. It never advances the
+// virtual clock and is safe to read at any point.
+func (s *Scheduler) Dispatches() int64 { return s.dispatches }
 
 // SetTracing enables or disables recording of a scheduling trace, useful in
 // tests that assert deterministic interleavings.
@@ -215,6 +223,7 @@ func (s *Scheduler) deadlock() error {
 }
 
 func (s *Scheduler) dispatch(t *Task) {
+	s.dispatches++
 	s.current = t
 	t.state = StateRunning
 	if s.tracing {
