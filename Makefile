@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check metrics-smoke perf-smoke bench bench-metrics bench-perf bench-ring experiments examples clean
+.PHONY: all build test vet check metrics-smoke perf-smoke timeline-smoke bench bench-metrics bench-perf bench-timeline bench-ring experiments examples clean
 
 all: check
 
@@ -23,6 +23,7 @@ check: vet
 	$(GO) test -bench . -benchtime=1x ./internal/ringbuf/...
 	$(MAKE) metrics-smoke
 	$(MAKE) perf-smoke
+	$(MAKE) timeline-smoke
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -46,6 +47,16 @@ perf-smoke:
 		{ echo "BENCH_perf.json is stale; run 'make bench-perf' to regenerate"; rm -f .bench_perf_smoke.json; exit 1; }
 	rm -f .bench_perf_smoke.json
 
+# Same contract for the span-tracing artifact: the traced runs must
+# reproduce BENCH_timeline.json byte-for-byte, and the Chrome
+# trace_event export must parse and be time-ordered per track (the
+# benchtool validates it before writing; see docs/OBSERVABILITY.md).
+timeline-smoke:
+	$(GO) run ./cmd/benchtool -experiment timeline -json .bench_timeline_smoke.json -perfetto .bench_perfetto_smoke.json >/dev/null
+	diff -u BENCH_timeline.json .bench_timeline_smoke.json || \
+		{ echo "BENCH_timeline.json is stale; run 'make bench-timeline' to regenerate"; rm -f .bench_timeline_smoke.json .bench_perfetto_smoke.json; exit 1; }
+	rm -f .bench_timeline_smoke.json .bench_perfetto_smoke.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
@@ -53,6 +64,10 @@ bench-metrics:
 # Regenerate the committed perf-trajectory baseline.
 bench-perf:
 	$(GO) run ./cmd/benchtool -experiment perf -json BENCH_perf.json >/dev/null
+
+# Regenerate the committed span-tracing baseline.
+bench-timeline:
+	$(GO) run ./cmd/benchtool -experiment timeline -json BENCH_timeline.json >/dev/null
 
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:

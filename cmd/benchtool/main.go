@@ -9,6 +9,7 @@
 //	benchtool -experiment rolling  # rolling-upgrade comparison (§1.1 extension)
 //	benchtool -experiment metrics  # flight-recorder export (docs/OBSERVABILITY.md)
 //	benchtool -experiment perf     # perf-trajectory baseline (docs/PERFORMANCE.md)
+//	benchtool -experiment timeline # span tracing + request latency attribution
 //	benchtool -experiment all      # everything
 //
 // The metrics experiment emits a machine-readable report; -json writes
@@ -23,6 +24,11 @@
 // diffs byte-for-byte (regenerate with `make bench-perf`):
 //
 //	benchtool -experiment perf -json BENCH_perf.json
+//
+// The timeline experiment writes its report with -json and the traced
+// run's Chrome trace_event export (Perfetto-loadable) with -perfetto:
+//
+//	benchtool -experiment timeline -json BENCH_timeline.json -perfetto trace.json
 //
 // All measurements run in deterministic virtual time; see DESIGN.md for
 // the substitution rationale and internal/bench/costmodel.go for the
@@ -41,10 +47,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|all")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
+	perfettoOut := flag.String("perfetto", "", "timeline: write the Chrome trace_event export to this file")
 	validate := flag.String("validate", "", "validate a metrics-report JSON file against the golden schema and exit")
 	flag.Parse()
 
@@ -145,6 +152,33 @@ func main() {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.PerfSchemaID)
+		}
+	}
+	if run("timeline") {
+		report, perfetto, err := bench.RunTimelineReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTimelineReport(report))
+		if *jsonOut != "" && *experiment == "timeline" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.TimelineSchemaID)
+		}
+		if *perfettoOut != "" {
+			if err := bench.ValidateChromeTrace(perfetto); err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*perfettoOut, perfetto, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (Chrome trace_event, load in Perfetto)\n", *perfettoOut)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())

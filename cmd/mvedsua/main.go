@@ -18,6 +18,8 @@
 //	mvedsua -app redis -trace              # update-lifecycle timeline
 //	mvedsua -app redis -trace-all          # full trace incl. per-syscall events
 //	mvedsua -app redis -metrics            # flight-recorder counters/histograms
+//	mvedsua -app redis -perfetto out.json  # Chrome trace_event export (load in
+//	                                       # https://ui.perfetto.dev)
 package main
 
 import (
@@ -44,6 +46,7 @@ var (
 	traceFlag    = flag.Bool("trace", false, "print the flight-recorder lifecycle timeline (milestone events)")
 	traceAllFlag = flag.Bool("trace-all", false, "print the full flight-recorder trace, including per-syscall hot events")
 	metricsFlag  = flag.Bool("metrics", false, "print flight-recorder metrics (counters, gauges, latency histograms)")
+	perfettoFlag = flag.String("perfetto", "", "write a Chrome trace_event export of the run to this file (Perfetto-loadable)")
 )
 
 func main() {
@@ -72,6 +75,17 @@ func main() {
 	}
 }
 
+// setup applies the observability flags to a freshly built world:
+// span tracing is enabled only when the run will export a trace, so
+// flag-less demo output stays identical.
+func setup(w *apptest.World) *apptest.World {
+	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
+	if *perfettoFlag != "" {
+		w.EnableSpanTracing()
+	}
+	return w
+}
+
 func report(w *apptest.World) {
 	fmt.Println("\ncontroller timeline:")
 	for _, ev := range w.C.Timeline() {
@@ -97,11 +111,22 @@ func report(w *apptest.World) {
 		fmt.Print(indent(w.Rec.FormatMetrics()))
 		fmt.Println()
 	}
+	if *perfettoFlag != "" {
+		data, err := w.Rec.ExportChromeTrace()
+		if err == nil {
+			err = os.WriteFile(*perfettoFlag, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvedsua: perfetto export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d span events; open in https://ui.perfetto.dev)\n",
+			*perfettoFlag, len(w.Rec.Spans()))
+	}
 }
 
 func demoTKV() error {
-	w := apptest.NewWorld(core.Config{})
-	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
+	w := setup(apptest.NewWorld(core.Config{}))
 	w.C.Start(tkv.New("v1", false))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()
@@ -166,8 +191,7 @@ func demoRedis(fault string) error {
 	default:
 		return fmt.Errorf("redis supports faults: newcode, xform, stall")
 	}
-	w := apptest.NewWorld(cfg)
-	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
+	w := setup(apptest.NewWorld(cfg))
 	if plan != nil {
 		plan.Rec = w.Rec // injected faults join the flight-recorder timeline
 	}
@@ -231,8 +255,7 @@ func demoMemcached(fault string) error {
 	default:
 		return fmt.Errorf("memcached supports faults: xform, timing")
 	}
-	w := apptest.NewWorld(cfg)
-	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
+	w := setup(apptest.NewWorld(cfg))
 	w.C.Start(memcache.New(memcache.SpecFor("1.2.2", 1)))
 	w.S.Go("client", func(tk *sim.Task) {
 		defer w.Finish()
@@ -292,8 +315,7 @@ func demoMemcached(fault string) error {
 }
 
 func demoVsftpd() error {
-	w := apptest.NewWorld(core.Config{})
-	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
+	w := setup(apptest.NewWorld(core.Config{}))
 	w.K.WriteFile(ftpd.Root+"/readme.txt", []byte("welcome to the mvedsua ftp demo"))
 	w.C.Start(ftpd.New(ftpd.SpecFor("2.0.3")))
 	fwd, _ := ftpd.RulesFor("2.0.3", "2.0.4")

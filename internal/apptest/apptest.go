@@ -40,6 +40,21 @@ func NewWorld(cfg core.Config) *World {
 	return &World{S: s, K: k, C: core.New(k, cfg), Rec: cfg.Recorder}
 }
 
+// EnableSpanTracing opts the world into causal span tracing: the
+// recorder starts accepting spans, the kernel reports I/O metrics, and
+// every scheduler dispatch becomes a run slice on the task's track.
+// Tracing observes but never advances virtual time, so a traced run
+// stays bit-identical to a bare one.
+func (w *World) EnableSpanTracing() {
+	w.Rec.EnableSpans()
+	w.K.Rec = w.Rec
+	w.S.OnSlice = func(task string, start, end time.Duration) {
+		if end > start {
+			w.Rec.Slice(task, "run", start, end)
+		}
+	}
+}
+
 // Finish marks the scenario complete; the teardown task then reaps all
 // runtime tasks so the scheduler can drain.
 func (w *World) Finish() { w.done = true }
@@ -107,6 +122,22 @@ func (c *Client) Recv(tk *sim.Task) string {
 // Do sends one CRLF-terminated command line and returns the reply burst.
 func (c *Client) Do(tk *sim.Task, cmd string) string {
 	c.Send(tk, cmd+"\r\n")
+	return c.Recv(tk)
+}
+
+// SendTagged writes raw bytes tagged with a request id for latency
+// attribution: the kernel threads the id to the server's read, and the
+// MVE layer closes the request's timeline when the follower validates
+// the response. Requires a non-zero reqID.
+func (c *Client) SendTagged(tk *sim.Task, reqID uint64, data string) {
+	c.k.Invoke(tk, sysabi.Call{
+		Op: sysabi.OpWrite, FD: c.fd, Buf: []byte(data), ReqID: reqID,
+	})
+}
+
+// DoTagged sends one tagged command line and returns the reply burst.
+func (c *Client) DoTagged(tk *sim.Task, reqID uint64, cmd string) string {
+	c.SendTagged(tk, reqID, cmd+"\r\n")
 	return c.Recv(tk)
 }
 

@@ -17,6 +17,9 @@ func TestMemcachedDuoSchedulingDeterministic(t *testing.T) {
 	run := func() []string {
 		target := MemcachedTarget()
 		w := build(target, ModeVaran2, 0)
+		// This run produces ~308k dispatches; raise the trace cap so the
+		// full interleaving stays pinned, not just the newest window.
+		w.s.SetTraceCapacity(1 << 19)
 		w.s.SetTracing(true)
 		m := NewMetrics(0)
 		m.SetCollecting(false)

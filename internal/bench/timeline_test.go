@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mvedsua/internal/apps/memcache"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/core"
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+)
+
+// TestTimelineReportDeterministic runs the traced scenarios twice and
+// requires byte-identical report JSON and Chrome trace exports — the
+// contract the committed BENCH_timeline.json relies on.
+func TestTimelineReportDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		report, perfetto, err := RunTimelineReport()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, perfetto
+	}
+	r1, p1 := run()
+	r2, p2 := run()
+	if string(r1) != string(r2) {
+		t.Fatal("timeline reports differ between identical runs")
+	}
+	if string(p1) != string(p2) {
+		t.Fatal("Chrome trace exports differ between identical runs")
+	}
+	if err := ValidateChromeTrace(p1); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+}
+
+// TestTimelineReportDecomposesRequests checks the report actually
+// attributes latency: every scenario tracks requests, and the duo
+// phases populate all three decomposition components.
+func TestTimelineReportDecomposesRequests(t *testing.T) {
+	report, perfetto, err := RunTimelineReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != TimelineSchemaID {
+		t.Fatalf("schema = %q, want %q", report.Schema, TimelineSchemaID)
+	}
+	for _, run := range report.Runs {
+		if run.Requests == 0 {
+			t.Fatalf("%s: no tracked requests", run.Name)
+		}
+		for _, comp := range []string{obs.HReqService, obs.HReqRingWait, obs.HReqValidateLag} {
+			c, ok := run.Components[comp]
+			if !ok {
+				t.Fatalf("%s: component %s missing", run.Name, comp)
+			}
+			if c.Count == 0 {
+				t.Fatalf("%s: component %s never observed", run.Name, comp)
+			}
+			if c.P50NS > c.P95NS || c.P95NS > c.P99NS || c.P99NS > c.MaxNS {
+				t.Fatalf("%s: %s quantiles not monotone: %+v", run.Name, comp, c)
+			}
+		}
+		if run.Spans == 0 {
+			t.Fatalf("%s: no spans recorded", run.Name)
+		}
+	}
+	// The exported trace must carry the causal story the docs promise:
+	// task run slices, controller stage arcs, a DSU state transfer, and
+	// the fault/stall/divergence instants of the recovery run.
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfetto, &trace); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"run": false, "stage:outdated-leader": false, "xform:2.0.1": false,
+		"update:2.0.1": false, "fault": false, "stall": false, "divergence": false,
+	}
+	for _, ev := range trace.TraceEvents {
+		if _, ok := want[ev.Name]; ok {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("exported trace missing %q events", name)
+		}
+	}
+}
+
+// TestValidateChromeTraceRejects exercises the validator's failure
+// modes: garbage bytes, an empty trace, and out-of-order timestamps.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	if err := ValidateChromeTrace([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := []byte(`{"traceEvents":[
+		{"name":"a","ph":"i","ts":10,"pid":1,"tid":1},
+		{"name":"b","ph":"i","ts":5,"pid":1,"tid":1}]}`)
+	if err := ValidateChromeTrace(bad); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	ok := []byte(`{"traceEvents":[
+		{"name":"m","ph":"M","ts":0,"pid":1,"tid":9},
+		{"name":"a","ph":"i","ts":10,"pid":1,"tid":1},
+		{"name":"b","ph":"i","ts":5,"pid":1,"tid":2}]}`)
+	if err := ValidateChromeTrace(ok); err != nil {
+		t.Fatalf("independent tracks rejected: %v", err)
+	}
+}
+
+// TestSpanTracingDoesNotPerturbSchedule is the observer-effect guard:
+// the Memcached duo update — the most interleaving-sensitive
+// configuration in the suite — runs once bare and once with span
+// tracing fully enabled (spans, kernel I/O metrics, per-dispatch run
+// slices, tagged requests on the wire), and the virtual-time schedule
+// must be byte-identical. Tracing observes; it never advances the
+// clock or reorders a wakeup.
+func TestSpanTracingDoesNotPerturbSchedule(t *testing.T) {
+	run := func(traced bool) ([]string, time.Duration) {
+		w := apptest.NewWorld(core.Config{DSU: dsu.Config{
+			EpollWaitIsUpdatePoint: true,
+			EpollUpdateInterval:    5 * time.Millisecond,
+			OnAbort:                memcache.AbortReset,
+		}})
+		w.S.SetTracing(true)
+		if traced {
+			w.EnableSpanTracing()
+		}
+		w.C.Start(memcache.New(memcache.SpecFor("1.2.2", 1)))
+		w.S.Go("driver", func(tk *sim.Task) {
+			defer w.Finish()
+			a := apptest.Connect(w.K, tk, memcache.Port)
+			defer a.Close(tk)
+			a.SendTagged(tk, 1, "set k 0 0 5\r\nhello\r\n")
+			a.RecvUntil(tk, "STORED\r\n")
+			w.C.Update(memcache.Update("1.2.2", "1.2.3", memcache.UpdateOpts{}))
+			reqID := uint64(2)
+			for round := 0; round < 40; round++ {
+				a.SendTagged(tk, reqID, "get k\r\n")
+				reqID++
+				a.RecvUntil(tk, "END\r\n")
+				tk.Sleep(15 * time.Millisecond)
+				if w.C.Stage() == core.StageOutdatedLeader {
+					break
+				}
+			}
+			if w.C.Stage() == core.StageOutdatedLeader {
+				w.C.Promote()
+				for i := 0; i < 5; i++ {
+					a.SendTagged(tk, reqID, "get k\r\n")
+					reqID++
+					a.RecvUntil(tk, "END\r\n")
+					tk.Sleep(15 * time.Millisecond)
+				}
+				w.C.Commit()
+			}
+		})
+		if err := w.Run(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if traced && len(w.Rec.Spans()) == 0 {
+			t.Fatal("traced run recorded no spans")
+		}
+		return w.S.Trace(), w.S.Now()
+	}
+	bareTrace, bareClock := run(false)
+	spanTrace, spanClock := run(true)
+	if bareClock != spanClock {
+		t.Fatalf("final clock differs: bare %v vs traced %v", bareClock, spanClock)
+	}
+	if len(bareTrace) != len(spanTrace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(bareTrace), len(spanTrace))
+	}
+	for i := range bareTrace {
+		if bareTrace[i] != spanTrace[i] {
+			t.Fatalf("first schedule divergence at %d: %q vs %q", i, bareTrace[i], spanTrace[i])
+		}
+	}
+	t.Logf("schedules identical for %d dispatches (final clock %v)", len(bareTrace), bareClock)
+}

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/chaos"
+	"mvedsua/internal/core"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// The timeline experiment exercises the causal span layer end-to-end:
+// fully traced update scenarios with every client request tagged, so
+// each request's end-to-end latency decomposes into leader service
+// time, ring-buffer queueing, and follower validation lag. The report
+// (BENCH_timeline.json) carries the per-component quantiles; the
+// Chrome trace_event export of the recovery run is the Perfetto-ready
+// artifact (per-task run slices, controller stage spans, the DSU state
+// transfer, and fault/divergence/stall instants).
+
+// TimelineSchemaID is the timeline report's format identifier.
+const TimelineSchemaID = "mvedsua-timeline/v1"
+
+// LatencyComponent summarizes one latency histogram of the request
+// decomposition.
+type LatencyComponent struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// TimelineRun is one traced scenario's request-latency attribution.
+type TimelineRun struct {
+	Name           string                      `json:"name"`
+	Outcome        string                      `json:"outcome"`
+	VirtualSeconds float64                     `json:"virtual_seconds"`
+	Requests       int64                       `json:"requests"`
+	Components     map[string]LatencyComponent `json:"components"`
+	Spans          int                         `json:"spans"`
+	SpansDropped   int64                       `json:"spans_dropped"`
+}
+
+// TimelineReport is benchtool's span-tracing artifact
+// (BENCH_timeline.json). Everything derives from virtual time, so the
+// report is bit-identical across runs.
+type TimelineReport struct {
+	Schema string        `json:"schema"`
+	Runs   []TimelineRun `json:"runs"`
+}
+
+// timelineScenario is one traced run's configuration and driver. The
+// plan hook builds the chaos schedule after the world exists, so
+// injections can gate on controller state.
+type timelineScenario struct {
+	name  string
+	cfg   core.Config
+	plan  func(w *apptest.World) *chaos.Plan
+	drive func(w *apptest.World, tk *sim.Task, c *apptest.Client)
+}
+
+// taggedIncr issues n tagged INCR requests, advancing *next for each.
+func taggedIncr(tk *sim.Task, c *apptest.Client, next *uint64, n int) {
+	for i := 0; i < n; i++ {
+		c.DoTagged(tk, *next, "INCR counter")
+		*next++
+		tk.Sleep(10 * time.Millisecond)
+	}
+}
+
+func timelineScenarios() []timelineScenario {
+	return []timelineScenario{
+		{
+			// The clean Figure 6 lifecycle with every request tagged:
+			// single-leader, duo validation, promotion, commit. The
+			// request histograms cover all three decomposition
+			// components.
+			name: "lifecycle",
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				next := uint64(1)
+				taggedIncr(tk, c, &next, 3)
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				taggedIncr(tk, c, &next, 5)
+				w.C.Promote()
+				taggedIncr(tk, c, &next, 5)
+				w.C.Commit()
+				taggedIncr(tk, c, &next, 2)
+			},
+		},
+		{
+			// Recovery under faults: a silent follower stall caught by
+			// the watchdog (rollback + retry), then an injected write
+			// error in the retried duo (divergence + second rollback +
+			// retry), ending in a successful promotion. This is the run
+			// whose Chrome trace export carries the fault, stall and
+			// divergence instants.
+			name: "chaos-recovery",
+			cfg: core.Config{
+				WatchdogDeadline: 50 * time.Millisecond,
+				RetryOnRollback:  true,
+				RetryInterval:    100 * time.Millisecond,
+				MaxRetries:       3,
+			},
+			plan: func(w *apptest.World) *chaos.Plan {
+				return chaos.NewPlan(
+					&chaos.Injection{
+						Role: "follower", AfterCalls: 3, Kind: chaos.KindStall,
+					},
+					&chaos.Injection{
+						Role: "follower", Op: sysabi.OpWrite, AfterCalls: 2,
+						Kind: chaos.KindErrno, Errno: sysabi.EPIPE,
+						When: func() bool { return w.C.Retries() > 0 },
+					},
+				)
+			},
+			drive: func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+				next := uint64(1)
+				w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+				for i := 0; i < 120; i++ {
+					c.DoTagged(tk, next, "INCR counter")
+					next++
+					tk.Sleep(10 * time.Millisecond)
+					if w.C.Retries() >= 2 && w.C.Stage() == core.StageOutdatedLeader {
+						break
+					}
+				}
+				taggedIncr(tk, c, &next, 3)
+				if w.C.Stage() == core.StageOutdatedLeader {
+					w.C.Promote()
+					taggedIncr(tk, c, &next, 3)
+					w.C.Commit()
+				}
+			},
+		},
+	}
+}
+
+// RunTimelineReport executes every traced scenario and assembles the
+// report, returning alongside it the Chrome trace_event JSON export of
+// the final (chaos-recovery) run.
+func RunTimelineReport() (TimelineReport, []byte, error) {
+	report := TimelineReport{Schema: TimelineSchemaID}
+	var perfetto []byte
+	for _, sc := range timelineScenarios() {
+		run, trace, err := runTraced(sc)
+		if err != nil {
+			return report, nil, fmt.Errorf("timeline %s: %w", sc.name, err)
+		}
+		report.Runs = append(report.Runs, run)
+		perfetto = trace
+	}
+	return report, perfetto, nil
+}
+
+// runTraced executes one scenario with span tracing fully enabled and
+// summarizes its request decomposition.
+func runTraced(sc timelineScenario) (TimelineRun, []byte, error) {
+	cfg := sc.cfg
+	var plan *chaos.Plan
+	planHook := sc.plan
+	cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+		if plan == nil {
+			return d
+		}
+		return chaos.Wrap(role, d, plan)
+	}
+	w := apptest.NewWorld(cfg)
+	if planHook != nil {
+		plan = planHook(w)
+		plan.Rec = w.Rec
+	}
+	w.EnableSpanTracing()
+	srv := kvstore.New(kvstore.SpecFor("2.0.0", false))
+	srv.CmdCPU = KVStoreCmdCPU
+	w.C.Start(srv)
+	w.S.Go("driver", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		sc.drive(w, tk, c)
+	})
+	if err := w.Run(time.Hour); err != nil {
+		return TimelineRun{}, nil, err
+	}
+	run := TimelineRun{
+		Name:           sc.name,
+		Outcome:        fmt.Sprintf("%v leader=%s", w.C.Stage(), w.C.LeaderRuntime().App().Version()),
+		VirtualSeconds: w.S.Now().Seconds(),
+		Requests:       w.Rec.Counter(obs.CReqTracked),
+		Components:     map[string]LatencyComponent{},
+		Spans:          len(w.Rec.Spans()),
+		SpansDropped:   w.Rec.SpansDropped(),
+	}
+	for _, name := range []string{obs.HReqService, obs.HReqRingWait, obs.HReqValidateLag} {
+		h := w.Rec.Hist(name)
+		if h == nil {
+			run.Components[name] = LatencyComponent{}
+			continue
+		}
+		run.Components[name] = LatencyComponent{
+			Count:  h.Count,
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.50)),
+			P95NS:  int64(h.Quantile(0.95)),
+			P99NS:  int64(h.Quantile(0.99)),
+			MaxNS:  int64(h.Max),
+		}
+	}
+	trace, err := w.Rec.ExportChromeTrace()
+	if err != nil {
+		return TimelineRun{}, nil, err
+	}
+	return run, trace, nil
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome
+// trace_event export: valid JSON, non-empty, and with timestamps
+// non-decreasing within every (pid, tid) track.
+func ValidateChromeTrace(data []byte) error {
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return fmt.Errorf("chrome trace: no events")
+	}
+	last := map[[2]int]float64{}
+	for i, ev := range trace.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		if prev, ok := last[key]; ok && ev.Ts < prev {
+			return fmt.Errorf("chrome trace: event %d (%s) out of order on tid %d: ts %.3f after %.3f",
+				i, ev.Name, ev.Tid, ev.Ts, prev)
+		}
+		last[key] = ev.Ts
+	}
+	return nil
+}
+
+// FormatTimelineReport renders the report for the terminal.
+func FormatTimelineReport(report TimelineReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-request latency attribution (%s)\n", report.Schema)
+	for _, run := range report.Runs {
+		fmt.Fprintf(&b, "\n  %s (%.2fs virtual, %d tagged requests, %d spans) -> %s\n",
+			run.Name, run.VirtualSeconds, run.Requests, run.Spans, run.Outcome)
+		keys := make([]string, 0, len(run.Components))
+		for k := range run.Components {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := run.Components[k]
+			fmt.Fprintf(&b, "    %-24s n=%-5d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+				k, c.Count, time.Duration(c.MeanNS), time.Duration(c.P50NS),
+				time.Duration(c.P95NS), time.Duration(c.P99NS), time.Duration(c.MaxNS))
+		}
+	}
+	return b.String()
+}

@@ -164,6 +164,13 @@ type Controller struct {
 	timeline []Event
 	rec      *obs.Recorder
 
+	// Open async spans (span mode only): the current stage's arc on the
+	// "controller" track, and the fork→promote update window.
+	stageSpanID    uint64
+	stageSpanName  string
+	updateSpanID   uint64
+	updateSpanName string
+
 	// OnCrash, if non-nil, observes crashes the controller already
 	// handled (rollbacks/promotions) as well as unhandled ones.
 	OnCrash func(sim.CrashInfo, bool)
@@ -243,9 +250,39 @@ func (c *Controller) transition(stage Stage, note string) {
 	c.timeline = append(c.timeline, ev)
 	c.rec.Inc(obs.CCoreTransitions)
 	c.rec.Emit(obs.KindStage, stage.String(), note)
+	if c.rec.SpansEnabled() {
+		// Roll the Figure 2 stage machine's async arc over to the new
+		// stage, so the controller track shows each stage end to end.
+		if c.stageSpanID != 0 {
+			c.rec.EndAsync("controller", c.stageSpanName, c.stageSpanID)
+		}
+		c.stageSpanName = "stage:" + stage.String()
+		c.stageSpanID = c.rec.BeginAsync("controller", c.stageSpanName, note)
+	}
 	if c.OnStage != nil {
 		c.OnStage(ev)
 	}
+}
+
+// beginUpdateSpan opens the fork→promote window arc for version name
+// (span mode only).
+func (c *Controller) beginUpdateSpan(name string) {
+	if !c.rec.SpansEnabled() {
+		return
+	}
+	c.endUpdateSpan()
+	c.updateSpanName = "update:" + name
+	c.updateSpanID = c.rec.BeginAsync("controller", c.updateSpanName, "fork -> promote window")
+}
+
+// endUpdateSpan closes the open fork→promote window arc, if any
+// (promotion completed, or the update rolled back first).
+func (c *Controller) endUpdateSpan() {
+	if !c.rec.SpansEnabled() || c.updateSpanID == 0 {
+		return
+	}
+	c.rec.EndAsync("controller", c.updateSpanName, c.updateSpanID)
+	c.updateSpanID = 0
 }
 
 // Start deploys app in single-leader mode (Figure 2, t0) and returns the
@@ -258,6 +295,7 @@ func (c *Controller) Start(app dsu.App) *dsu.Runtime {
 	cfg.ParallelXform = false
 	cfg.TakeUpdate = c.takeUpdate
 	cfg.OnOutcome = c.updateOutcome
+	cfg.Rec = c.rec
 	c.leaderRT = dsu.NewRuntime(c.sched, app, cfg)
 	c.leaderRT.Start()
 	c.transition(StageSingleLeader, "deployed "+app.Version())
@@ -287,12 +325,14 @@ func (c *Controller) Update(v *dsu.Version) bool {
 func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) dsu.TakeAction {
 	forked := rt.App().Fork()
 	proc := c.mon.AttachFollower(c.procName(v.Name), v.Rules)
+	c.beginUpdateSpan(v.Name)
 	cfg := c.cfg.DSU
 	cfg.Name = "follower"
 	cfg.Dispatcher = c.wrapDispatcher("follower", proc)
 	cfg.ParallelXform = true
 	cfg.TakeUpdate = nil
 	cfg.OnOutcome = nil
+	cfg.Rec = c.rec
 	c.otherRT = dsu.NewRuntime(c.sched, forked, cfg)
 	c.otherRT.StartUpdatedFrom(forked, v)
 	c.transition(StageOutdatedLeader, "forked follower for "+v.Name)
@@ -389,6 +429,7 @@ func (c *Controller) Promote() bool {
 // handlePromoted fires when the updated version has taken over (t5).
 func (c *Controller) handlePromoted(newLeader *mve.Proc) {
 	c.leaderRT, c.otherRT = c.otherRT, c.leaderRT
+	c.endUpdateSpan()
 	c.transition(StageUpdatedLeader, newLeader.Name()+" now leads")
 	// If the demoted process is already dead (promotion after an
 	// old-version crash), there is nothing left to validate against:
@@ -433,6 +474,7 @@ func (c *Controller) Rollback(reason string) bool {
 	v := c.pending
 	c.pending = nil
 	c.rec.Inc(obs.CCoreRollbacks)
+	c.endUpdateSpan()
 	c.transition(StageSingleLeader, "rolled back: "+reason)
 	if c.cfg.RetryOnRollback && v != nil && c.cfg.RetryInterval > 0 && c.retries < c.cfg.MaxRetries {
 		c.retries++

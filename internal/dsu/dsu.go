@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mvedsua/internal/dsl"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 )
@@ -155,6 +156,11 @@ type Config struct {
 	// it is written. MVEDSUA's controller uses it to retry timing
 	// errors.
 	OnOutcome func(UpdateRecord)
+	// Rec, if non-nil, receives update-point counters, quiescence-wait
+	// and state-transfer histograms, and spans. All instrumentation is
+	// gated on Rec.SpansEnabled(), so a recorder that has not opted into
+	// span tracing sees no dsu traffic at all.
+	Rec *obs.Recorder
 }
 
 // Runtime is the per-process DSU runtime: it owns the app instance, its
@@ -244,8 +250,7 @@ func (rt *Runtime) Start() *sim.Task {
 func (rt *Runtime) StartUpdatedFrom(old App, v *Version) *sim.Task {
 	name := fmt.Sprintf("%s/main@%s", rt.cfg.Name, v.Name)
 	t := rt.sched.Go(name, func(task *sim.Task) {
-		rt.chargeXform(task, old, v)
-		newApp, err := v.Xform(old)
+		newApp, err := rt.applyXform(task, old, v)
 		if err != nil {
 			panic(fmt.Sprintf("dsu: state transformation to %s failed: %v", v.Name, err))
 		}
@@ -258,6 +263,27 @@ func (rt *Runtime) StartUpdatedFrom(old App, v *Version) *sim.Task {
 		rt.runMain(task, newApp, true)
 	})
 	return t
+}
+
+// applyXform charges the transformation cost and runs v's state
+// transformer on old, wrapping the whole transfer in a span and a
+// duration histogram when span tracing is enabled.
+func (rt *Runtime) applyXform(task *sim.Task, old App, v *Version) (App, error) {
+	rec := rt.cfg.Rec
+	traced := rec.SpansEnabled()
+	track := "dsu:" + rt.cfg.Name
+	var start time.Duration
+	if traced {
+		start = rt.sched.Now()
+		rec.BeginSpan(track, "xform:"+v.Name, "state transfer")
+	}
+	rt.chargeXform(task, old, v)
+	newApp, err := v.Xform(old)
+	if traced {
+		rec.Observe(obs.HDSUXform, rt.sched.Now()-start)
+		rec.EndSpan(track, "xform:"+v.Name)
+	}
+	return newApp, err
 }
 
 func (rt *Runtime) chargeXform(task *sim.Task, old App, v *Version) {
@@ -454,6 +480,9 @@ func (e *Env) Sys(c sysabi.Call) sysabi.Result {
 // is shutting down.
 func (e *Env) UpdatePoint(name string) Decision {
 	rt := e.rt
+	if rt.cfg.Rec.SpansEnabled() {
+		rt.cfg.Rec.Inc(obs.CDSUUpdatePoints)
+	}
 	if rt.cfg.UpdateCheckCost > 0 {
 		e.task.Advance(rt.cfg.UpdateCheckCost)
 	}
@@ -488,6 +517,7 @@ func (e *Env) UpdatePoint(name string) Decision {
 			// attempt; the operator may retry (§6.2).
 			att.decided = true
 			att.exit = false
+			rt.observeQuiesce(att)
 			rt.record(UpdateRecord{
 				Version: att.v.Name, Outcome: OutcomeTimedOut,
 				RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
@@ -507,6 +537,15 @@ func (e *Env) UpdatePoint(name string) Decision {
 	return Continue
 }
 
+// observeQuiesce records how long the attempt waited from the update
+// request to the quiescence decision (the paper's wait-for-quiescence
+// window). Gated on span tracing like the rest of the dsu metrics.
+func (rt *Runtime) observeQuiesce(att *attempt) {
+	if rt.cfg.Rec.SpansEnabled() {
+		rt.cfg.Rec.Observe(obs.HDSUQuiesce, rt.sched.Now()-att.requestedAt)
+	}
+}
+
 // decide runs once per attempt, in the context of the last thread to
 // quiesce: it consults the TakeUpdate hook and applies or aborts.
 func (rt *Runtime) decide(e *Env, att *attempt) {
@@ -518,6 +557,7 @@ func (rt *Runtime) decide(e *Env, att *attempt) {
 		rt.quiesceQ.WakeAll(rt.sched)
 		return
 	}
+	rt.observeQuiesce(att)
 	action := TakeInPlace
 	if rt.cfg.TakeUpdate != nil {
 		action = rt.cfg.TakeUpdate(e.task, rt, att.v)
@@ -536,8 +576,7 @@ func (rt *Runtime) decide(e *Env, att *attempt) {
 		}
 	default:
 		old := rt.app
-		rt.chargeXform(e.task, old, att.v)
-		newApp, err := att.v.Xform(old)
+		newApp, err := rt.applyXform(e.task, old, att.v)
 		if err != nil {
 			// A broken state transformation crashes the process, as it
 			// would with Kitsune (§6.2 "error in the state transformation").

@@ -365,6 +365,19 @@ type Proc struct {
 	drain []ringbuf.Entry
 	recq  []ringbuf.Entry
 
+	// Per-request latency attribution (span mode only — every use is
+	// gated on obs.Recorder.SpansEnabled): reqStart tracks, per logical
+	// thread, the in-flight tagged client request this proc is serving;
+	// reqDrainAt maps a tagged response event's request id to the
+	// instant the follower drained it from the ring.
+	reqStart   map[int]reqOpen
+	reqDrainAt map[uint64]time.Duration
+
+	// roleSpanID/roleSpanName track this proc's open role-epoch async
+	// span (span mode only).
+	roleSpanID   uint64
+	roleSpanName string
+
 	// Syscalls counts calls dispatched through this proc.
 	Syscalls int
 }
@@ -458,14 +471,16 @@ func newKernelState() KernelState {
 
 func newProc(m *Monitor, name string, role Role) *Proc {
 	return &Proc{
-		m:        m,
-		name:     name,
-		role:     role,
-		kstate:   newKernelState(),
-		rawByTID: make(map[int][]sysabi.Event),
-		expByTID: make(map[int][]*expGroup),
-		tidWait:  make(map[int]*sim.WaitQueue),
-		retired:  make(map[uint64]bool),
+		m:          m,
+		name:       name,
+		role:       role,
+		kstate:     newKernelState(),
+		rawByTID:   make(map[int][]sysabi.Event),
+		expByTID:   make(map[int][]*expGroup),
+		tidWait:    make(map[int]*sim.WaitQueue),
+		retired:    make(map[uint64]bool),
+		reqStart:   make(map[int]reqOpen),
+		reqDrainAt: make(map[uint64]time.Duration),
 	}
 }
 
@@ -476,6 +491,7 @@ func (m *Monitor) StartSingleLeader(name string) *Proc {
 	m.leader = p
 	m.logf("%s started as single leader", name)
 	m.rec.Emit(obs.KindRole, name, "started as single leader")
+	p.setRoleSpan("single-leader")
 	return p
 }
 
@@ -498,6 +514,8 @@ func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
 	m.leader.role = RoleLeader
 	m.logf("%s attached as follower of %s (buffer %d entries)", name, m.leader.name, m.buf.Cap())
 	m.rec.Emitf(obs.KindRole, name, "attached as follower of %s (buffer %d entries)", m.leader.name, m.buf.Cap())
+	m.leader.setRoleSpan("leader")
+	f.setRoleSpan("follower")
 	m.startWatchdog(f)
 	return f
 }
@@ -594,6 +612,7 @@ func (m *Monitor) PromoteNow(t *sim.Task) {
 		// The demoted process starts validating at the new leader's
 		// first recorded event.
 		m.leader.globalNext = m.buf.NextSeq()
+		m.leader.setRoleSpan("follower")
 	}
 	m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
 	m.logf("promotion event injected")
@@ -609,12 +628,14 @@ func (m *Monitor) DropFollower() {
 	}
 	m.logf("follower %s dropped", m.follower.name)
 	m.rec.Emitf(obs.KindRole, m.follower.name, "follower dropped (%d events dropped by discard policy)", m.buf.Dropped)
+	m.follower.endRoleSpan()
 	m.follower = nil
 	m.promoteRequested = false
 	m.buf.Close()
 	if m.leader != nil {
 		m.leader.role = RoleSingleLeader
 		m.leader.promoteSeen = false
+		m.leader.setRoleSpan("single-leader")
 	}
 	// A leader parked mid-promotion resumes as single leader.
 	m.promoWait.WakeAll(m.sched)
@@ -649,6 +670,7 @@ func (p *Proc) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 				p.m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
 				p.m.logf("%s demoted itself; awaiting new leader", p.name)
 				p.m.rec.Emit(obs.KindRole, p.name, "demoted itself; awaiting new leader")
+				p.setRoleSpan("follower")
 				continue
 			}
 			return p.invokeLeader(t, call)
@@ -698,6 +720,9 @@ func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
 		rec.Observe(obs.HSyscallSingle, t.Now()-start)
 		rec.Emitf(obs.KindSyscall, p.name, "%s = %d/%v", call, res.Ret, res.Err)
 		p.trackKernelState(call, res)
+		if rec.SpansEnabled() {
+			p.trackRequest(t, call, res, nil)
+		}
 		return res
 	}
 	res := p.m.kernel.Invoke(t, call)
@@ -719,6 +744,11 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 	}
 	p.trackKernelState(call, res)
 	ev := sysabi.Event{Call: call.Clone(), Result: res.Clone()}
+	if rec.SpansEnabled() {
+		// Stamps the recorded event's call with the request id (the live
+		// call is untouched, so validation semantics cannot change).
+		p.trackRequest(t, call, res, &ev)
+	}
 	if p.m.FullPolicy == FullDiscard {
 		if !p.m.buf.TryAppend(ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev}) {
 			// The follower lags too far behind: degrade the update, not
@@ -847,6 +877,16 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		}
 		p.parkForever(t)
 	}
+	if rec := p.m.rec; rec.SpansEnabled() && exp.Call.ReqID != 0 {
+		// Validation-lag component, and the end of the request's async
+		// span: the follower has now confirmed the response the client
+		// already received.
+		if drainedAt, ok := p.reqDrainAt[exp.Call.ReqID]; ok {
+			delete(p.reqDrainAt, exp.Call.ReqID)
+			rec.Observe(obs.HReqValidateLag, t.Now()-drainedAt)
+		}
+		rec.EndAsync("request", reqSpanName(exp.Call.ReqID), exp.Call.ReqID)
+	}
 	// If a promotion is pending and this was the last queued event,
 	// complete the switch so the next syscall executes natively.
 	if p.promoteSeen && p.queuesEmpty() {
@@ -874,6 +914,9 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 			need := p.engine.NeedsLookahead(raw[0])
 			if len(raw) >= need || p.promoteSeen {
 				expected, consumed, fired := p.engine.Transform(raw)
+				if p.m.rec.SpansEnabled() {
+					carryReqIDs(raw[:consumed], expected)
+				}
 				if fired != nil {
 					p.m.Stats.Rewritten++
 					p.m.logf("rule %q rewrote %d event(s) into %d for tid %d", fired.Name, consumed, len(expected), tid)
@@ -940,6 +983,11 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 				p.parkForever(t)
 			default:
 				etid := e.Event.Call.TID
+				if rec := p.m.rec; rec.SpansEnabled() && e.Event.Call.ReqID != 0 {
+					// Ring-queueing component: append instant -> this drain.
+					rec.Observe(obs.HReqRingWait, t.Now()-e.PutAt)
+					p.reqDrainAt[e.Event.Call.ReqID] = t.Now()
+				}
 				p.rawByTID[etid] = append(p.rawByTID[etid], e.Event)
 				if etid != tid {
 					p.waitFor(etid).WakeAll(p.m.sched)
@@ -988,6 +1036,7 @@ func (p *Proc) discardTail(t *sim.Task, tid int) {
 	p.rawByTID = make(map[int][]sysabi.Event)
 	p.expByTID = make(map[int][]*expGroup)
 	p.retired = make(map[uint64]bool)
+	p.reqDrainAt = make(map[uint64]time.Duration)
 	p.wakeAllTIDs()
 }
 
@@ -996,6 +1045,7 @@ func (p *Proc) becomeLeader() {
 	m.logf("%s promoted to leader", p.name)
 	m.rec.Inc(obs.CMVEPromotions)
 	m.rec.Emit(obs.KindRole, p.name, "promoted to leader")
+	p.setRoleSpan("leader")
 	old := m.leader
 	m.leader = p
 	m.follower = old
@@ -1019,6 +1069,101 @@ func (p *Proc) becomeLeader() {
 	if m.OnPromoted != nil {
 		m.OnPromoted(p)
 	}
+}
+
+// reqOpen tracks an in-flight tagged client request on one logical
+// thread of the serving leader (span mode only).
+type reqOpen struct {
+	id uint64
+	at time.Duration
+}
+
+func reqSpanName(id uint64) string { return fmt.Sprintf("req-%d", id) }
+
+// carryReqIDs copies request tags from the consumed raw output events
+// onto the transformed expected output events, in order. Rewrite rules
+// rebuild events from scratch, which drops the observability-only
+// ReqID field; pairing the Nth tagged output in with the Nth untagged
+// output out keeps per-request attribution intact across rewrites.
+func carryReqIDs(raw, expected []sysabi.Event) {
+	var ids []uint64
+	for _, e := range raw {
+		if e.Call.HasOutput() && e.Call.ReqID != 0 {
+			ids = append(ids, e.Call.ReqID)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	j := 0
+	for i := range expected {
+		if j >= len(ids) {
+			return
+		}
+		if expected[i].Call.HasOutput() && expected[i].Call.ReqID == 0 {
+			expected[i].Call.ReqID = ids[j]
+			j++
+		}
+	}
+}
+
+// trackRequest attributes per-request latency. Callers gate on
+// rec.SpansEnabled. A tagged inbound read opens the request on the
+// reading thread and begins its async span (the request id is the span
+// id); the thread's next response write closes the leader-service
+// component. In leader mode the *recorded* response event is stamped
+// with the request id — the live call is never modified — so the
+// follower's validation path can later observe ring wait and
+// validation lag and close the span. In single-leader mode (ev == nil)
+// nothing validates, so the span ends at the write.
+func (p *Proc) trackRequest(t *sim.Task, call sysabi.Call, res sysabi.Result, ev *sysabi.Event) {
+	rec := p.m.rec
+	if res.ReqID != 0 && call.IsInput() {
+		p.reqStart[call.TID] = reqOpen{id: res.ReqID, at: t.Now()}
+		rec.BeginAsyncID("request", reqSpanName(res.ReqID), "", res.ReqID)
+		return
+	}
+	if !call.HasOutput() {
+		return
+	}
+	open, ok := p.reqStart[call.TID]
+	if !ok {
+		return
+	}
+	delete(p.reqStart, call.TID)
+	rec.Inc(obs.CReqTracked)
+	rec.Observe(obs.HReqService, t.Now()-open.at)
+	if ev != nil {
+		ev.Call.ReqID = open.id
+	} else {
+		rec.EndAsync("request", reqSpanName(open.id), open.id)
+	}
+}
+
+// setRoleSpan rolls p's role-epoch async span over to a new role (span
+// mode only): the open epoch ends and the next begins, so each proc's
+// track shows its single-leader / leader / follower eras end to end.
+func (p *Proc) setRoleSpan(role string) {
+	rec := p.m.rec
+	if !rec.SpansEnabled() {
+		return
+	}
+	if p.roleSpanID != 0 {
+		rec.EndAsync(p.name, p.roleSpanName, p.roleSpanID)
+	}
+	p.roleSpanName = "role:" + role
+	p.roleSpanID = rec.BeginAsync(p.name, p.roleSpanName, "")
+}
+
+// endRoleSpan closes p's open role epoch (e.g. the follower was
+// dropped).
+func (p *Proc) endRoleSpan() {
+	rec := p.m.rec
+	if !rec.SpansEnabled() || p.roleSpanID == 0 {
+		return
+	}
+	rec.EndAsync(p.name, p.roleSpanName, p.roleSpanID)
+	p.roleSpanID = 0
 }
 
 // SetReverseRules installs the updated-leader-stage rule set on the

@@ -42,6 +42,24 @@ const (
 
 	// Chaos layer.
 	CChaosFired = "chaos.fired"
+
+	// Per-request latency attribution (span mode only: these are emitted
+	// behind Recorder.SpansEnabled, so default benchmark runs never
+	// record them and the golden artifacts stay byte-identical).
+	CReqTracked     = "request.tracked"      // tagged client requests attributed end-to-end
+	HReqService     = "request.service"      // leader service time: tagged read -> response write
+	HReqRingWait    = "request.ring_wait"    // response event's wait in the ring buffer
+	HReqValidateLag = "request.validate_lag" // drain -> follower validation of the response
+
+	// DSU runtime (span mode only).
+	CDSUUpdatePoints = "dsu.update_points" // update-point hits while an update is live
+	HDSUQuiesce      = "dsu.quiesce_wait"  // update requested -> quiescence decided
+	HDSUXform        = "dsu.xform"         // state-transfer (Xform) duration per version step
+
+	// Virtual OS (span mode only).
+	CVOSNetBytes = "vos.net.bytes" // bytes moved through stream sockets
+	CVOSFSBytes  = "vos.fs.bytes"  // bytes moved through the in-memory fs
+	GVOSOpenFDs  = "vos.open_fds"  // open descriptors after the last syscall
 )
 
 // CounterNames is the complete counter vocabulary. The golden schema
@@ -54,10 +72,15 @@ var CounterNames = []string{
 	CRuleHits,
 	CCoreTransitions, CCoreUpdates, CCoreCommits, CCoreRollbacks, CCoreRetries,
 	CChaosFired,
+	CReqTracked, CDSUUpdatePoints, CVOSNetBytes, CVOSFSBytes,
 }
 
 // GaugeNames is the complete gauge vocabulary.
-var GaugeNames = []string{GRingOccupancy, GRingHighWater}
+var GaugeNames = []string{GRingOccupancy, GRingHighWater, GVOSOpenFDs}
 
 // HistogramNames is the complete histogram vocabulary.
-var HistogramNames = []string{HSyscallSingle, HSyscallLeader, HRingBlockWait}
+var HistogramNames = []string{
+	HSyscallSingle, HSyscallLeader, HRingBlockWait,
+	HReqService, HReqRingWait, HReqValidateLag,
+	HDSUQuiesce, HDSUXform,
+}

@@ -154,13 +154,64 @@ func (h *Histogram) Mean() time.Duration {
 	return h.Sum / time.Duration(h.Count)
 }
 
+// Quantile estimates the q-quantile (0 < q < 1, e.g. 0.99 for p99) by
+// linear interpolation inside the bucket holding the q*Count-th
+// observation. Exact tracked extremes bound the estimate: q <= 0
+// returns Min, q >= 1 returns Max, and a rank landing in the overflow
+// bucket returns Max. Zero on an empty or nil histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i := 0; i <= histBuckets; i++ {
+		n := float64(h.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == histBuckets {
+				return h.Max
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			v := lo + time.Duration((rank-cum)/n*float64(hi-lo))
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.Max
+}
+
 // Options sizes a Recorder.
 type Options struct {
 	// TraceCapacity bounds the hot-event ring (default 8192).
 	TraceCapacity int
 	// MilestoneCapacity bounds the lifecycle-event list (default 4096).
 	MilestoneCapacity int
+	// SpanCapacity bounds the span-event store used once EnableSpans is
+	// called (default 16384; a circular tail with a dropped count).
+	SpanCapacity int
 }
+
+// defaultSpanCap is the span store bound when Options left it unset.
+const defaultSpanCap = 16384
 
 // Recorder is the flight recorder: a metrics registry (counters, gauges,
 // histograms) plus the bounded structured trace. The zero value is not
@@ -180,6 +231,13 @@ type Recorder struct {
 	milestones        []Event
 	milestonesDropped int64
 	milestoneCap      int
+
+	spansOn      bool // set by EnableSpans; gates all span recording
+	spans        []SpanEvent
+	spanCap      int
+	spanStart    int   // oldest slot once the span store wrapped
+	spansDropped int64 // span events evicted from the circular tail
+	asyncSeq     uint64
 }
 
 // New builds a recorder over the given virtual-clock source (typically
@@ -202,6 +260,7 @@ func New(now func() time.Duration, opts Options) *Recorder {
 		hot:          make([]Event, 0, opts.TraceCapacity),
 		hotCap:       opts.TraceCapacity,
 		milestoneCap: opts.MilestoneCapacity,
+		spanCap:      opts.SpanCapacity,
 	}
 }
 
@@ -446,7 +505,8 @@ func (r *Recorder) FormatMetrics() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			h := r.hists[k]
-			fmt.Fprintf(&b, "  %-32s n=%d mean=%v max=%v\n", k, h.Count, h.Mean(), h.Max)
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%v min=%v p50=%v p99=%v max=%v\n",
+				k, h.Count, h.Mean(), h.Min, h.Quantile(0.50), h.Quantile(0.99), h.Max)
 		}
 	}
 	if r.dropped > 0 {

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderSpanMethodsSafe calls every span-layer method on a nil
+// recorder: the contract is one pointer check and no work.
+func TestNilRecorderSpanMethodsSafe(t *testing.T) {
+	var r *Recorder
+	r.EnableSpans()
+	if r.SpansEnabled() {
+		t.Fatal("nil recorder reports spans enabled")
+	}
+	r.Slice("tr", "run", 0, time.Millisecond)
+	r.BeginSpan("tr", "a", "")
+	r.EndSpan("tr", "a")
+	if id := r.BeginAsync("tr", "b", ""); id != 0 {
+		t.Fatalf("nil BeginAsync allocated id %d", id)
+	}
+	r.BeginAsyncID("tr", "b", "", 7)
+	r.EndAsync("tr", "b", 7)
+	r.InstantSpan("tr", "mark", "")
+	if r.Spans() != nil || r.SpansDropped() != 0 {
+		t.Fatal("nil recorder retained spans")
+	}
+	data, err := r.ExportChromeTrace()
+	if err != nil {
+		t.Fatalf("nil export: %v", err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("nil export is not JSON: %v", err)
+	}
+}
+
+// TestDisabledRecorderRecordsNoSpans verifies the second gate: an
+// attached recorder that never called EnableSpans stays dark, which is
+// what keeps un-spanned runs byte-identical to the golden artifacts.
+func TestDisabledRecorderRecordsNoSpans(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.now, Options{})
+	if r.SpansEnabled() {
+		t.Fatal("spans enabled without EnableSpans")
+	}
+	r.Slice("tr", "run", 0, time.Millisecond)
+	r.BeginSpan("tr", "a", "")
+	r.EndSpan("tr", "a")
+	if id := r.BeginAsync("tr", "b", ""); id != 0 {
+		t.Fatalf("disabled BeginAsync allocated id %d", id)
+	}
+	r.BeginAsyncID("tr", "b", "", 7)
+	r.EndAsync("tr", "b", 7)
+	r.InstantSpan("tr", "mark", "")
+	if got := r.Spans(); got != nil {
+		t.Fatalf("disabled recorder retained %d spans", len(got))
+	}
+}
+
+// TestSpanCircularTail fills the bounded span store past its capacity
+// and checks the newest events survive with an accurate dropped count.
+func TestSpanCircularTail(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.now, Options{SpanCapacity: 4})
+	r.EnableSpans()
+	for i := 0; i < 10; i++ {
+		clk.t = time.Duration(i) * time.Millisecond
+		r.InstantSpan("tr", "mark", "")
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if r.SpansDropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.SpansDropped())
+	}
+	for i, s := range spans {
+		want := time.Duration(6+i) * time.Millisecond
+		if s.At != want {
+			t.Fatalf("span %d at %v, want %v (oldest-first rotation broken)", i, s.At, want)
+		}
+	}
+}
+
+// TestAsyncIDsDisjointFromRequestIDs checks recorder-allocated async
+// ids start above the uint32 range, so they can never collide with
+// client request ids sharing the async id space.
+func TestAsyncIDsDisjointFromRequestIDs(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.now, Options{})
+	r.EnableSpans()
+	id := r.BeginAsync("tr", "arc", "")
+	if id <= 1<<32 {
+		t.Fatalf("allocated async id %#x not above the request-id range", id)
+	}
+	id2 := r.BeginAsync("tr", "arc2", "")
+	if id2 == id {
+		t.Fatalf("async ids not unique: %#x", id)
+	}
+}
+
+// chromeTraceFile is the exported shape the property test re-parses.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestExportChromeTraceProperty drives the span layer with a seeded
+// pseudo-random op mix and asserts the export invariants: valid JSON,
+// metadata events first, and timestamps non-decreasing within every
+// (pid, tid) track.
+func TestExportChromeTraceProperty(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.now, Options{})
+	r.EnableSpans()
+	tracks := []string{"alpha", "beta", "gamma"}
+	// Deterministic LCG (Numerical Recipes constants) — no wall-clock
+	// or global randomness, so a failure reproduces exactly.
+	seed := uint64(42)
+	next := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) % n
+	}
+	for i := 0; i < 500; i++ {
+		clk.t += time.Duration(next(50)) * time.Microsecond
+		track := tracks[next(uint64(len(tracks)))]
+		switch next(5) {
+		case 0:
+			start := clk.t
+			clk.t += time.Duration(next(100)) * time.Microsecond
+			r.Slice(track, "run", start, clk.t)
+		case 1:
+			r.BeginSpan(track, "sync", "")
+			clk.t += time.Duration(next(20)) * time.Microsecond
+			r.EndSpan(track, "sync")
+		case 2:
+			id := r.BeginAsync(track, "arc", "detail")
+			clk.t += time.Duration(next(200)) * time.Microsecond
+			r.EndAsync(track, "arc", id)
+		case 3:
+			r.InstantSpan(track, "mark", "")
+		case 4:
+			r.Emit(KindFault, track, "injected")
+		}
+	}
+	data, err := r.ExportChromeTrace()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var trace chromeTraceFile
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+	// Metadata first, then per-track time order.
+	if trace.TraceEvents[0].Ph != "M" {
+		t.Fatalf("first event phase %q, want metadata", trace.TraceEvents[0].Ph)
+	}
+	seenReal := false
+	last := map[[2]int]float64{}
+	for i, ev := range trace.TraceEvents {
+		if ev.Ph == "M" {
+			if seenReal {
+				t.Fatalf("metadata event %d after span events", i)
+			}
+			continue
+		}
+		seenReal = true
+		key := [2]int{ev.Pid, ev.Tid}
+		if prev, ok := last[key]; ok && ev.Ts < prev {
+			t.Fatalf("event %d (%s) out of order on tid %d: ts %.3f after %.3f",
+				i, ev.Name, ev.Tid, ev.Ts, prev)
+		}
+		last[key] = ev.Ts
+	}
+	// And a second export is byte-identical (determinism).
+	data2, err := r.ExportChromeTrace()
+	if err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("repeated exports differ")
+	}
+}
+
+// TestQuantileKnownDistributions pins Quantile against distributions
+// whose quantiles are known exactly or boundable by bucket.
+func TestQuantileKnownDistributions(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+
+	// A constant distribution: every quantile is the value (Min == Max
+	// clamp the bucket interpolation).
+	constH := &Histogram{}
+	for i := 0; i < 100; i++ {
+		constH.observe(5 * time.Millisecond)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if got := constH.Quantile(q); got != 5*time.Millisecond {
+			t.Fatalf("constant distribution Quantile(%v) = %v, want 5ms", q, got)
+		}
+	}
+
+	// Extremes: q <= 0 is Min, q >= 1 is Max, exactly.
+	twoPoint := &Histogram{}
+	for i := 0; i < 100; i++ {
+		twoPoint.observe(time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		twoPoint.observe(time.Millisecond)
+	}
+	if got := twoPoint.Quantile(0); got != time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want Min", got)
+	}
+	if got := twoPoint.Quantile(1); got != time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want Max", got)
+	}
+	// The 25th percentile lands among the 1µs observations, the 75th
+	// among the 1ms ones; each estimate must stay inside its bucket.
+	if got := twoPoint.Quantile(0.25); got != time.Microsecond {
+		t.Fatalf("Quantile(0.25) = %v, want 1µs", got)
+	}
+	if got := twoPoint.Quantile(0.75); got <= 512*time.Microsecond || got > time.Millisecond {
+		t.Fatalf("Quantile(0.75) = %v, want within (512µs, 1ms]", got)
+	}
+
+	// An observation past the last bucket bound lands in overflow, and
+	// quantiles reaching it return the exact tracked Max.
+	overflow := &Histogram{}
+	overflow.observe(time.Microsecond)
+	overflow.observe(100 * time.Second)
+	if got := overflow.Quantile(0.99); got != 100*time.Second {
+		t.Fatalf("overflow Quantile(0.99) = %v, want 100s", got)
+	}
+
+	// Monotonicity over a seeded pseudo-random distribution.
+	seed := uint64(7)
+	lcg := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) % n
+	}
+	randH := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		randH.observe(time.Duration(lcg(10_000_000)) * time.Nanosecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := randH.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFormatMetricsQuantiles checks the histogram lines surface min,
+// p50 and p99 alongside the existing mean/max.
+func TestFormatMetricsQuantiles(t *testing.T) {
+	clk := &manualClock{}
+	r := New(clk.now, Options{})
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", time.Duration(i)*time.Millisecond)
+	}
+	out := r.FormatMetrics()
+	for _, want := range []string{"min=", "p50=", "p99=", "max="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatMetrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package ringbuf
 
 import (
 	"fmt"
+	"time"
 
 	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
@@ -62,6 +63,12 @@ func (k Kind) String() string {
 type Entry struct {
 	Kind  Kind
 	Event sysabi.Event
+
+	// PutAt is the virtual time the entry was appended, stamped by the
+	// buffer itself. It lets the consumer attribute how long an entry
+	// queued in the ring (the "ring wait" component of per-request
+	// latency) without a side table.
+	PutAt time.Duration
 }
 
 // minStorage is the initial backing-array size (entries). Small so tiny
@@ -208,6 +215,7 @@ func (b *Buffer) append(e Entry) {
 		e.Event.Seq = b.seq
 		b.seq++
 	}
+	e.PutAt = b.sched.Now()
 	if b.count == len(b.buf) {
 		b.grow()
 	}

@@ -87,12 +87,26 @@ type Scheduler struct {
 	// task exits via panic. If nil, the panic is re-raised.
 	OnCrash func(CrashInfo)
 
-	crashes    []CrashInfo
-	tracing    bool
-	trace      []string
-	blocked    map[*Task]struct{}
-	dispatches int64
+	// OnSlice, if non-nil, observes each dispatch's run slice after the
+	// task parks again: the task's name plus the virtual interval it held
+	// the CPU. It is a pure observer — called in scheduler context, after
+	// the slice ended — so it cannot perturb scheduling or the clock.
+	OnSlice func(task string, start, end time.Duration)
+
+	crashes      []CrashInfo
+	tracing      bool
+	trace        []string
+	traceCap     int
+	traceStart   int   // oldest slot once the trace wrapped
+	traceDropped int64 // trace lines evicted from the circular tail
+	blocked      map[*Task]struct{}
+	dispatches   int64
 }
+
+// DefaultTraceCap bounds the scheduling trace unless SetTraceCapacity
+// chose another cap: the newest window survives and evictions are
+// counted, mirroring the recorder's hot ring and the mve event log.
+const DefaultTraceCap = 1 << 16
 
 // New returns an empty scheduler with the clock at zero.
 func New() *Scheduler {
@@ -116,11 +130,44 @@ func (s *Scheduler) Crashes() []CrashInfo { return s.crashes }
 func (s *Scheduler) Dispatches() int64 { return s.dispatches }
 
 // SetTracing enables or disables recording of a scheduling trace, useful in
-// tests that assert deterministic interleavings.
-func (s *Scheduler) SetTracing(on bool) { s.tracing = on }
+// tests that assert deterministic interleavings. The trace is bounded (the
+// newest DefaultTraceCap entries unless SetTraceCapacity was called); use
+// TraceDropped to detect truncation.
+func (s *Scheduler) SetTracing(on bool) {
+	s.tracing = on
+	if s.traceCap <= 0 {
+		s.traceCap = DefaultTraceCap
+	}
+}
 
-// Trace returns the recorded scheduling trace.
-func (s *Scheduler) Trace() []string { return s.trace }
+// SetTraceCapacity bounds the scheduling trace to the newest n entries
+// (n <= 0 restores the default). Changing the capacity clears any
+// already-recorded trace so the circular tail restarts cleanly.
+func (s *Scheduler) SetTraceCapacity(n int) {
+	if n <= 0 {
+		n = DefaultTraceCap
+	}
+	s.traceCap = n
+	s.trace = nil
+	s.traceStart = 0
+	s.traceDropped = 0
+}
+
+// Trace returns the recorded scheduling trace, oldest surviving entry
+// first.
+func (s *Scheduler) Trace() []string {
+	if len(s.trace) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s.trace))
+	for i := 0; i < len(s.trace); i++ {
+		out = append(out, s.trace[(s.traceStart+i)%len(s.trace)])
+	}
+	return out
+}
+
+// TraceDropped returns how many trace entries the bounded store evicted.
+func (s *Scheduler) TraceDropped() int64 { return s.traceDropped }
 
 // Go creates and starts a new task running fn. The task is appended to the
 // run queue; it first executes when the scheduler reaches it. Go may be
@@ -227,11 +274,22 @@ func (s *Scheduler) dispatch(t *Task) {
 	s.current = t
 	t.state = StateRunning
 	if s.tracing {
-		s.trace = append(s.trace, fmt.Sprintf("%d:%s", s.clock/time.Microsecond, t.name))
+		line := fmt.Sprintf("%d:%s", s.clock/time.Microsecond, t.name)
+		if len(s.trace) < s.traceCap {
+			s.trace = append(s.trace, line)
+		} else {
+			s.trace[s.traceStart] = line
+			s.traceStart = (s.traceStart + 1) % s.traceCap
+			s.traceDropped++
+		}
 	}
+	sliceStart := s.clock
 	t.resume <- struct{}{}
 	<-s.parked
 	s.current = nil
+	if s.OnSlice != nil {
+		s.OnSlice(t.name, sliceStart, s.clock)
+	}
 	if t.state == StateDone && t.crashed {
 		info := CrashInfo{Task: t.name, Value: t.crashVal}
 		s.crashes = append(s.crashes, info)

@@ -145,6 +145,15 @@ type Call struct {
 	// a follower thread against the corresponding leader thread's
 	// events, the way Varan matches per-thread event streams.
 	TID int
+
+	// ReqID tags the call with a client request id for latency
+	// attribution (observability only). A tagged client write carries it
+	// into the kernel, which threads it to the server's read result; the
+	// MVE leader then stamps it onto the recorded response event so the
+	// follower's validation path can close the request's timeline. Equal
+	// deliberately ignores it — follower-issued calls never carry request
+	// ids, and observation must not affect divergence checking.
+	ReqID uint64
 }
 
 // Result is the kernel's (or, for a follower, the ring buffer's) answer.
@@ -153,6 +162,10 @@ type Result struct {
 	Data  []byte // returned data for reads, accept peer info, etc.
 	Ready []int  // ready fds for epoll_wait
 	Err   Errno
+
+	// ReqID carries the request id of the inbound payload a read
+	// returned (observability only; see Call.ReqID).
+	ReqID uint64
 }
 
 // OK reports whether the result is a success.

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 )
@@ -36,6 +37,13 @@ type Kernel struct {
 
 	// Stats counts executed syscalls by op.
 	Stats map[sysabi.Op]int
+
+	// Rec, if non-nil, receives kernel-level observability (byte traffic
+	// and open-fd gauges). Recording is additionally gated on
+	// Rec.SpansEnabled, so an attached-but-unspanned recorder costs one
+	// boolean check per syscall and the default benchmark runs stay
+	// byte-identical to the committed golden artifacts.
+	Rec *obs.Recorder
 }
 
 // object is anything an fd can refer to.
@@ -73,6 +81,11 @@ type endpoint struct {
 	readers sim.WaitQueue
 	closed  bool // this side closed (no more reads/writes from here)
 	peer    *endpoint
+
+	// reqID is the request id of the most recent tagged write into this
+	// side's inbox; the next read returns and clears it (observability
+	// only — see sysabi.Call.ReqID).
+	reqID uint64
 }
 
 func (*endpoint) isObject() {}
@@ -112,6 +125,30 @@ func (k *Kernel) Invoke(t *sim.Task, c sysabi.Call) sysabi.Result {
 			t.Advance(d)
 		}
 	}
+	res := k.dispatch(t, c)
+	if k.Rec.SpansEnabled() {
+		k.observe(c, res)
+	}
+	return res
+}
+
+// observe reports kernel-level traffic into the recorder (span mode
+// only — see the Rec field).
+func (k *Kernel) observe(c sysabi.Call, res sysabi.Result) {
+	switch c.Op {
+	case sysabi.OpRead, sysabi.OpWrite:
+		if res.OK() && res.Ret > 0 {
+			k.Rec.Add(obs.CVOSNetBytes, res.Ret)
+		}
+	case sysabi.OpFRead, sysabi.OpFWrite:
+		if res.OK() && res.Ret > 0 {
+			k.Rec.Add(obs.CVOSFSBytes, res.Ret)
+		}
+	}
+	k.Rec.SetGauge(obs.GVOSOpenFDs, int64(len(k.fds)))
+}
+
+func (k *Kernel) dispatch(t *sim.Task, c sysabi.Call) sysabi.Result {
 	switch c.Op {
 	case sysabi.OpSocket:
 		return k.socket(c)
@@ -219,7 +256,9 @@ func (k *Kernel) read(t *sim.Task, c sysabi.Call) sysabi.Result {
 	}
 	data := make([]byte, n)
 	_, _ = ep.inbox.Read(data)
-	return sysabi.Result{Ret: int64(n), Data: data}
+	res := sysabi.Result{Ret: int64(n), Data: data, ReqID: ep.reqID}
+	ep.reqID = 0
+	return res
 }
 
 func (k *Kernel) write(c sysabi.Call) sysabi.Result {
@@ -234,6 +273,9 @@ func (k *Kernel) write(c sysabi.Call) sysabi.Result {
 		return sysabi.Result{Err: sysabi.EPIPE}
 	}
 	ep.peer.inbox.Write(c.Buf)
+	if c.ReqID != 0 {
+		ep.peer.reqID = c.ReqID
+	}
 	ep.peer.readers.WakeAll(k.sched)
 	k.activity.Broadcast(k.sched)
 	return sysabi.Result{Ret: int64(len(c.Buf))}
