@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check metrics-smoke perf-smoke timeline-smoke bench bench-metrics bench-perf bench-timeline bench-ring experiments examples clean
+.PHONY: all build test vet check metrics-smoke perf-smoke timeline-smoke nvariant-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-ring experiments examples clean
 
 all: check
 
@@ -24,6 +24,7 @@ check: vet
 	$(MAKE) metrics-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) timeline-smoke
+	$(MAKE) nvariant-smoke
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -57,6 +58,17 @@ timeline-smoke:
 		{ echo "BENCH_timeline.json is stale; run 'make bench-timeline' to regenerate"; rm -f .bench_timeline_smoke.json .bench_perfetto_smoke.json; exit 1; }
 	rm -f .bench_timeline_smoke.json .bench_perfetto_smoke.json
 
+# Same contract for the N-variant fleet artifact. The duo experiments
+# above double as the K=1 byte-identity gate: the fleet refactor must
+# leave BENCH_metrics.json, BENCH_perf.json and BENCH_timeline.json
+# (all produced by the duo controller/monitor path) byte-for-byte
+# unchanged, and this target pins the fleet scenarios themselves.
+nvariant-smoke:
+	$(GO) run ./cmd/benchtool -experiment nvariant -json .bench_nvariant_smoke.json >/dev/null
+	diff -u BENCH_nvariant.json .bench_nvariant_smoke.json || \
+		{ echo "BENCH_nvariant.json is stale; run 'make bench-nvariant' to regenerate"; rm -f .bench_nvariant_smoke.json; exit 1; }
+	rm -f .bench_nvariant_smoke.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
@@ -68,6 +80,10 @@ bench-perf:
 # Regenerate the committed span-tracing baseline.
 bench-timeline:
 	$(GO) run ./cmd/benchtool -experiment timeline -json BENCH_timeline.json >/dev/null
+
+# Regenerate the committed N-variant fleet baseline.
+bench-nvariant:
+	$(GO) run ./cmd/benchtool -experiment nvariant -json BENCH_nvariant.json >/dev/null
 
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:

@@ -10,6 +10,7 @@
 //	benchtool -experiment metrics  # flight-recorder export (docs/OBSERVABILITY.md)
 //	benchtool -experiment perf     # perf-trajectory baseline (docs/PERFORMANCE.md)
 //	benchtool -experiment timeline # span tracing + request latency attribution
+//	benchtool -experiment nvariant # N-variant fleet: quorum verdicts + canary gates
 //	benchtool -experiment all      # everything
 //
 // The metrics experiment emits a machine-readable report; -json writes
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|all")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
@@ -179,6 +180,24 @@ func main() {
 				fail(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s (Chrome trace_event, load in Perfetto)\n", *perfettoOut)
+		}
+	}
+	if run("nvariant") {
+		report, err := bench.RunNVariantReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatNVariantReport(report))
+		if *jsonOut != "" && *experiment == "nvariant" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.NVariantSchemaID)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())

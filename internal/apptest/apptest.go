@@ -85,6 +85,57 @@ func (w *World) Run(maxVirtual time.Duration) error {
 	return w.S.Run()
 }
 
+// FleetWorld bundles a scheduler, kernel and N-variant fleet controller
+// (core.FleetController) for a scenario run — the fleet-mode sibling of
+// World.
+type FleetWorld struct {
+	S *sim.Scheduler
+	K *vos.Kernel
+	C *core.FleetController
+	// Rec is the flight recorder every layer of the world reports into.
+	Rec *obs.Recorder
+
+	done bool
+}
+
+// NewFleetWorld builds a fresh fleet world with the given config,
+// creating and wiring a flight recorder exactly like NewWorld.
+func NewFleetWorld(cfg core.FleetConfig) *FleetWorld {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.New(s.Now, obs.Options{})
+	}
+	return &FleetWorld{S: s, K: k, C: core.NewFleet(k, cfg), Rec: cfg.Recorder}
+}
+
+// Finish marks the scenario complete; the teardown task then reaps the
+// whole fleet so the scheduler can drain.
+func (w *FleetWorld) Finish() { w.done = true }
+
+// Done reports whether Finish was called.
+func (w *FleetWorld) Done() bool { return w.done }
+
+// Run executes the world until the driver calls Finish (or hard timeout
+// in virtual time), then shuts the fleet down. It returns any scheduler
+// error.
+func (w *FleetWorld) Run(maxVirtual time.Duration) error {
+	if maxVirtual <= 0 {
+		maxVirtual = time.Hour
+	}
+	w.S.Go("apptest/teardown", func(tk *sim.Task) {
+		deadline := tk.Now() + maxVirtual
+		for !w.done && tk.Now() < deadline {
+			tk.Sleep(20 * time.Millisecond)
+		}
+		// Give in-flight verdicts and respawns a beat to settle so the
+		// post-run fleet state is the scenario's true outcome.
+		tk.Sleep(100 * time.Millisecond)
+		w.C.Shutdown()
+	})
+	return w.S.Run()
+}
+
 // Client is a blocking text-protocol client speaking over the virtual
 // kernel. Each Do issues one command and reads one reply burst.
 type Client struct {

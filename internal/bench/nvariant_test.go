@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNVariantReportDeterministic runs the full nvariant experiment
+// twice and requires byte-identical JSON — the property that lets
+// `make check` diff the committed BENCH_nvariant.json against a fresh
+// run. Fleet scheduling adds K validator tasks plus eject/respawn and
+// canary machinery on top of the duo, so this also pins their task
+// ordering.
+func TestNVariantReportDeterministic(t *testing.T) {
+	run := func() []byte {
+		report, err := RunNVariantReport()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("nvariant report not deterministic:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+}
+
+// TestNVariantScenariosTolerated requires every fleet scenario to reach
+// its expected outcome with zero client-visible failures — the paper's
+// availability claim carried over to N-variant execution: variant
+// crashes, divergences, quorum aborts, canary rollbacks and promotions
+// must all be invisible to clients.
+func TestNVariantScenariosTolerated(t *testing.T) {
+	report, err := RunNVariantReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Scenarios) < 8 {
+		t.Fatalf("only %d scenarios ran", len(report.Scenarios))
+	}
+	for _, row := range report.Scenarios {
+		if row.ClientFailures != 0 {
+			t.Errorf("%s: %d client-visible failures", row.Name, row.ClientFailures)
+		}
+		if !row.Tolerated {
+			t.Errorf("%s: not tolerated (phase=%s leader=%s fleet=%d verdicts=%v)",
+				row.Name, row.FinalPhase, row.LeaderVersion, row.FleetSize, row.Verdicts)
+		}
+	}
+	// The overhead sweep covers K=1..3 and replay work scales with K.
+	if len(report.Overhead) != 3 {
+		t.Fatalf("overhead rows = %d", len(report.Overhead))
+	}
+	for i, row := range report.Overhead {
+		if row.K != i+1 {
+			t.Errorf("overhead row %d: K=%d", i, row.K)
+		}
+		if i > 0 && row.ReplayedEvents <= report.Overhead[i-1].ReplayedEvents {
+			t.Errorf("replayed events did not grow with K: %+v", report.Overhead)
+		}
+	}
+}

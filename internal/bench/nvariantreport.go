@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/chaos"
+	"mvedsua/internal/core"
+	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+)
+
+// The nvariant experiment exercises the N-variant fleet controller
+// (core.FleetController) end-to-end on the kvstore target: steady-state
+// overhead as the fleet grows, quorum verdicts under single- and
+// multi-variant failures, canary-staged updates with gate-driven
+// promotion and rollback, and canary-phase chaos. Every scenario runs
+// in deterministic virtual time, so BENCH_nvariant.json is a
+// byte-stable artifact `make check` can diff.
+
+// NVariantSchemaID is the report format identifier.
+const NVariantSchemaID = "mvedsua-nvariant/v1"
+
+// NVariantOverheadRow measures steady-state validation with K replica
+// variants attached (leader + K cursors over one recorded stream).
+type NVariantOverheadRow struct {
+	K              int     `json:"k"`
+	Requests       int     `json:"requests"`
+	VirtualMillis  float64 `json:"virtual_ms"`
+	ThroughputRPS  float64 `json:"req_per_sec"`
+	ReplayedEvents int64   `json:"replayed_events"`
+	ProducerBlocks int64   `json:"producer_blocks"`
+}
+
+// NVariantScenarioRow is one fault/lifecycle scenario's outcome.
+type NVariantScenarioRow struct {
+	Name             string   `json:"name"`
+	K                int      `json:"k"`
+	Injected         []string `json:"injected"` // chaos faults that fired
+	Verdicts         []string `json:"verdicts"` // quorum verdicts, in order
+	Ejects           int64    `json:"ejects"`
+	Respawns         int64    `json:"respawns"`
+	CanaryRollbacks  int64    `json:"canary_rollbacks"`
+	CanaryPromotions int64    `json:"canary_promotions"`
+	ClientFailures   int      `json:"client_failures"`
+	FinalPhase       string   `json:"final_phase"`
+	LeaderVersion    string   `json:"leader_version"`
+	FleetSize        int      `json:"final_fleet_size"`
+	// Tolerated: the scenario reached its expected outcome with zero
+	// client-visible failures.
+	Tolerated bool `json:"tolerated"`
+}
+
+// NVariantReport is the benchtool's machine-readable N-variant artifact
+// (BENCH_nvariant.json).
+type NVariantReport struct {
+	Schema    string                `json:"schema"`
+	Overhead  []NVariantOverheadRow `json:"overhead"`
+	Scenarios []NVariantScenarioRow `json:"scenarios"`
+}
+
+// nvariantScenario is one fleet run's configuration, fault plan, driver
+// and outcome check.
+type nvariantScenario struct {
+	name     string
+	variants []string
+	gate     core.CanaryGate
+	plan     *chaos.Plan
+	requests int
+	// hooks run before the request with that index (0-based).
+	hooks func(w *apptest.FleetWorld) map[int]func(tk *sim.Task)
+	// ok judges the finished row (failures are checked separately).
+	ok func(row NVariantScenarioRow) bool
+}
+
+// fleetIDs are the replica slots every scenario uses; chaos injections
+// target the derived proc names (e.g. "r2#1@2.0.0", "canary#1@2.0.1").
+var fleetIDs = []string{"r1", "r2", "r3"}
+
+// defaultGate keeps the canary window comfortably shorter than the
+// scenarios' client sessions so promotion decisions land mid-run.
+var defaultGate = core.CanaryGate{Window: 150 * time.Millisecond, MaxDivergences: 2}
+
+func nvariantScenarios() []nvariantScenario {
+	update := func(opts kvstore.UpdateOpts) func(w *apptest.FleetWorld) map[int]func(tk *sim.Task) {
+		return func(w *apptest.FleetWorld) map[int]func(tk *sim.Task) {
+			return map[int]func(tk *sim.Task){
+				5: func(tk *sim.Task) { w.C.Update(kvstore.Update("2.0.0", "2.0.1", opts)) },
+			}
+		}
+	}
+	steady := func(row NVariantScenarioRow) bool {
+		return row.FinalPhase == "steady" && row.LeaderVersion == "2.0.0"
+	}
+	return []nvariantScenario{
+		{
+			// Baseline: leader + 3 replicas validate a whole session.
+			name: "steady-state", requests: 15,
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.Ejects == 0 && r.FleetSize == 3
+			},
+		},
+		{
+			// A replica crashes mid-run: the 1/3 minority verdict ejects
+			// it and the slot respawns from the leader at quiescence.
+			name: "crash-minority", requests: 25,
+			plan: chaos.NewPlan(&chaos.Injection{
+				Proc: "r2#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 5, Kind: chaos.KindCrash,
+			}),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.Ejects == 1 && r.Respawns == 1 && r.FleetSize == 3 &&
+					len(r.Verdicts) == 1 && strings.Contains(r.Verdicts[0], "eject")
+			},
+		},
+		{
+			// A replica's write is corrupted by an injected errno: its
+			// results stop matching the leader's recorded stream and the
+			// divergence goes to the quorum — still a minority.
+			name: "diverge-minority", requests: 25,
+			plan: chaos.NewPlan(&chaos.Injection{
+				Proc: "r3#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 5,
+				Kind: chaos.KindErrno, Errno: sysabi.EPIPE,
+			}),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.Ejects == 1 && r.Respawns == 1 && r.FleetSize == 3
+			},
+		},
+		{
+			// Two of three replicas fail: after the first eject the second
+			// failure is a majority (1 of 2) — the fleet aborts and the
+			// leader serves solo rather than trusting a minority quorum.
+			name: "diverge-majority-abort", requests: 25,
+			plan: chaos.NewPlan(
+				&chaos.Injection{
+					Proc: "r1#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 5,
+					Kind: chaos.KindErrno, Errno: sysabi.EPIPE,
+				},
+				&chaos.Injection{
+					Proc: "r2#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 5,
+					Kind: chaos.KindErrno, Errno: sysabi.EPIPE,
+				},
+			),
+			ok: func(r NVariantScenarioRow) bool {
+				return r.FinalPhase == "aborted" && r.LeaderVersion == "2.0.0" &&
+					r.FleetSize == 0 && len(r.Verdicts) == 2 &&
+					strings.Contains(r.Verdicts[0], "eject") &&
+					strings.Contains(r.Verdicts[1], "abort")
+			},
+		},
+		{
+			// A staged update whose state transformation loses the store:
+			// the canary's replies diverge on every request, blow the
+			// divergence budget mid-window, and only the canary dies.
+			name: "canary-storm-rollback", requests: 30,
+			hooks: update(kvstore.UpdateOpts{ForgetTable: true}),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.CanaryRollbacks == 1 && r.CanaryPromotions == 0 &&
+					r.FleetSize == 3
+			},
+		},
+		{
+			// A clean staged update: the canary validates through the
+			// window, the gate passes, the fleet promotes and respawns at
+			// full strength from the new leader.
+			name: "canary-clean-promote", requests: 40,
+			hooks: update(kvstore.UpdateOpts{}),
+			ok: func(r NVariantScenarioRow) bool {
+				return r.FinalPhase == "steady" && r.LeaderVersion == "2.0.1" &&
+					r.CanaryPromotions == 1 && r.CanaryRollbacks == 0 && r.FleetSize == 3
+			},
+		},
+		{
+			// Canary-phase chaos: the canary itself crashes mid-window.
+			// Canary failures bypass the quorum — the verdict is always
+			// rollback, and the old-version fleet is untouched.
+			name: "canary-crash", requests: 30,
+			plan: chaos.NewPlan(&chaos.Injection{
+				Proc: "canary#1@2.0.1", Op: sysabi.OpWrite, AfterCalls: 4, Kind: chaos.KindCrash,
+			}),
+			hooks: update(kvstore.UpdateOpts{}),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.CanaryRollbacks == 1 && r.CanaryPromotions == 0 &&
+					r.FleetSize == 3 && len(r.Verdicts) == 1 &&
+					strings.Contains(r.Verdicts[0], "rollback-canary")
+			},
+		},
+		{
+			// Canary-phase chaos: repeated injected errnos desynchronize
+			// the canary past its divergence budget — a chaos-driven storm
+			// instead of a transformation bug.
+			name: "canary-divergence-storm", requests: 30,
+			plan: chaos.NewPlan(
+				&chaos.Injection{Proc: "canary#1@2.0.1", Op: sysabi.OpWrite, AfterCalls: 2, Kind: chaos.KindErrno, Errno: sysabi.EPIPE},
+				&chaos.Injection{Proc: "canary#1@2.0.1", Op: sysabi.OpWrite, AfterCalls: 4, Kind: chaos.KindErrno, Errno: sysabi.EPIPE},
+				&chaos.Injection{Proc: "canary#1@2.0.1", Op: sysabi.OpWrite, AfterCalls: 6, Kind: chaos.KindErrno, Errno: sysabi.EPIPE},
+			),
+			hooks: update(kvstore.UpdateOpts{}),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.CanaryRollbacks == 1 && r.FleetSize == 3
+			},
+		},
+		{
+			// A replica crashes while the canary window is open: the eject
+			// and respawn proceed under the in-flight update, and the
+			// canary still promotes on a clean gate.
+			name: "replica-crash-during-canary", requests: 40,
+			plan: chaos.NewPlan(&chaos.Injection{
+				Proc: "r2#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 10, Kind: chaos.KindCrash,
+			}),
+			hooks: update(kvstore.UpdateOpts{}),
+			ok: func(r NVariantScenarioRow) bool {
+				return r.FinalPhase == "steady" && r.LeaderVersion == "2.0.1" &&
+					r.Ejects >= 1 && r.CanaryPromotions == 1 && r.FleetSize == 3
+			},
+		},
+		{
+			// Fault during respawn: the respawned incarnation of a crashed
+			// slot crashes too; the quorum ejects it again and the slot
+			// respawns a third time. Clients never notice either failure.
+			name: "respawn-crashes-again", requests: 30,
+			plan: chaos.NewPlan(
+				&chaos.Injection{Proc: "r2#1@2.0.0", Op: sysabi.OpWrite, AfterCalls: 5, Kind: chaos.KindCrash},
+				&chaos.Injection{Proc: "r2#2@2.0.0", Op: sysabi.OpWrite, AfterCalls: 3, Kind: chaos.KindCrash},
+			),
+			ok: func(r NVariantScenarioRow) bool {
+				return steady(r) && r.Ejects == 2 && r.Respawns == 2 && r.FleetSize == 3
+			},
+		},
+	}
+}
+
+// runNVariantScenario executes one fleet scenario and scores it.
+func runNVariantScenario(sc nvariantScenario) (NVariantScenarioRow, error) {
+	variants := sc.variants
+	if variants == nil {
+		variants = fleetIDs
+	}
+	gate := sc.gate
+	if gate.Window == 0 {
+		gate = defaultGate
+	}
+	cfg := core.FleetConfig{Variants: variants, Canary: gate}
+	cfg.Costs = MVECosts(ModeVaran2)
+	if sc.plan != nil {
+		plan := sc.plan
+		cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+			return chaos.WrapProc(role, name, d, plan)
+		}
+	}
+	w := apptest.NewFleetWorld(cfg)
+	if sc.plan != nil {
+		sc.plan.Rec = w.Rec
+	}
+	row := NVariantScenarioRow{Name: sc.name, K: len(variants)}
+	w.C.OnVerdict = func(v mve.Verdict) { row.Verdicts = append(row.Verdicts, v.String()) }
+
+	srv := kvstore.New(kvstore.SpecFor("2.0.0", false))
+	srv.CmdCPU = KVStoreCmdCPU
+	w.C.Start(srv)
+
+	var hooks map[int]func(tk *sim.Task)
+	if sc.hooks != nil {
+		hooks = sc.hooks(w)
+	}
+	w.S.Go("driver", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		for i := 0; i < sc.requests; i++ {
+			if hook := hooks[i]; hook != nil {
+				hook(tk)
+			}
+			if got := c.Do(tk, "INCR nv"); got != fmt.Sprintf(":%d\r\n", i+1) {
+				row.ClientFailures++
+			}
+			tk.Sleep(10 * time.Millisecond)
+		}
+		// Let trailing verdicts/respawns land, then record the fleet
+		// state and counters before teardown's Shutdown (which ejects
+		// every variant and would inflate the eject counter).
+		tk.Sleep(200 * time.Millisecond)
+		row.FinalPhase = w.C.Phase().String()
+		row.LeaderVersion = w.C.LeaderRuntime().App().Version()
+		row.FleetSize = len(w.C.LiveVariants())
+		row.Ejects = w.Rec.Counter(obs.CFleetEjects)
+		row.Respawns = w.Rec.Counter(obs.CFleetRespawns)
+		row.CanaryRollbacks = w.Rec.Counter(obs.CCanaryRollbacks)
+		row.CanaryPromotions = w.Rec.Counter(obs.CCanaryPromotions)
+	})
+	if err := w.Run(time.Hour); err != nil {
+		return row, err
+	}
+	if sc.plan != nil {
+		for _, rec := range sc.plan.Log {
+			row.Injected = append(row.Injected, rec.Inj)
+		}
+	}
+	row.Tolerated = row.ClientFailures == 0 && (sc.ok == nil || sc.ok(row)) &&
+		(sc.plan == nil || sc.plan.Fired() >= 1)
+	return row, nil
+}
+
+// runNVariantOverhead measures a closed-loop kvstore session with K
+// replica variants attached, under the calibrated Varan-2 cost model.
+func runNVariantOverhead(k, requests int) (NVariantOverheadRow, error) {
+	variants := make([]string, k)
+	for i := range variants {
+		variants[i] = fmt.Sprintf("r%d", i+1)
+	}
+	cfg := core.FleetConfig{Variants: variants, Canary: defaultGate}
+	cfg.Costs = MVECosts(ModeVaran2)
+	w := apptest.NewFleetWorld(cfg)
+	w.K.BaseCost = KernelCost
+	srv := kvstore.New(kvstore.SpecFor("2.0.0", false))
+	srv.CmdCPU = KVStoreCmdCPU
+	w.C.Start(srv)
+	w.S.Go("driver", func(tk *sim.Task) {
+		defer w.Finish()
+		c := apptest.Connect(w.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		for i := 0; i < requests; i++ {
+			c.Do(tk, "INCR nv")
+		}
+	})
+	if err := w.Run(time.Hour); err != nil {
+		return NVariantOverheadRow{}, err
+	}
+	elapsed := w.S.Now()
+	row := NVariantOverheadRow{
+		K:              k,
+		Requests:       requests,
+		VirtualMillis:  float64(elapsed) / float64(time.Millisecond),
+		ReplayedEvents: w.C.Monitor().Stats.Replayed,
+		ProducerBlocks: w.Rec.Counter(obs.CRingBlocked),
+	}
+	if elapsed > 0 {
+		row.ThroughputRPS = float64(requests) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// RunNVariantReport executes the overhead sweep and every fleet
+// scenario and assembles the report.
+func RunNVariantReport() (NVariantReport, error) {
+	report := NVariantReport{Schema: NVariantSchemaID}
+	for _, k := range []int{1, 2, 3} {
+		row, err := runNVariantOverhead(k, 300)
+		if err != nil {
+			return report, fmt.Errorf("nvariant overhead K=%d: %w", k, err)
+		}
+		report.Overhead = append(report.Overhead, row)
+	}
+	for _, sc := range nvariantScenarios() {
+		row, err := runNVariantScenario(sc)
+		if err != nil {
+			return report, fmt.Errorf("nvariant %s: %w", sc.name, err)
+		}
+		report.Scenarios = append(report.Scenarios, row)
+	}
+	return report, nil
+}
+
+// FormatNVariantReport renders the report for the terminal.
+func FormatNVariantReport(report NVariantReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N-variant fleet (%s)\n\n", report.Schema)
+	fmt.Fprintf(&b, "  Steady-state overhead vs fleet size (kvstore, %d requests):\n", 300)
+	fmt.Fprintf(&b, "    %2s  %12s  %12s  %10s  %8s\n", "K", "virtual ms", "req/s", "replayed", "blocks")
+	for _, row := range report.Overhead {
+		fmt.Fprintf(&b, "    %2d  %12.2f  %12.0f  %10d  %8d\n",
+			row.K, row.VirtualMillis, row.ThroughputRPS, row.ReplayedEvents, row.ProducerBlocks)
+	}
+	fmt.Fprintf(&b, "\n  Fleet scenarios (quorum verdicts, canary gates, chaos):\n")
+	for _, row := range report.Scenarios {
+		status := "TOLERATED"
+		if !row.Tolerated {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&b, "    %-28s K=%d  %-9s  phase=%s leader=%s fleet=%d failures=%d\n",
+			row.Name, row.K, status, row.FinalPhase, row.LeaderVersion, row.FleetSize, row.ClientFailures)
+		for _, inj := range row.Injected {
+			fmt.Fprintf(&b, "      fault:   %s\n", inj)
+		}
+		for _, v := range row.Verdicts {
+			fmt.Fprintf(&b, "      verdict: %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -66,6 +66,11 @@ type Injection struct {
 	// Role targets the fault at dispatchers wrapped with a matching role
 	// ("leader", "follower"); empty matches every role.
 	Role string
+	// Proc targets the fault at one named process (the proc name the
+	// controller passes to WrapDispatcher, e.g. a specific fleet variant
+	// or the canary); empty matches every process. Only dispatchers
+	// wrapped with WrapProc carry a name to match against.
+	Proc string
 	// Op restricts the trigger to one syscall; OpInvalid matches any.
 	Op sysabi.Op
 	// AfterCalls makes the fault fire on the Nth matching syscall after
@@ -94,6 +99,9 @@ func (inj *Injection) String() string {
 	target := inj.Role
 	if target == "" {
 		target = "any"
+	}
+	if inj.Proc != "" {
+		target += "(" + inj.Proc + ")"
 	}
 	op := "any-op"
 	if inj.Op != sysabi.OpInvalid {
@@ -154,6 +162,7 @@ func Rand(seed int64) *rand.Rand {
 // Dispatcher wraps an inner sysabi.Dispatcher with fault injection.
 type Dispatcher struct {
 	role  string
+	name  string
 	inner sysabi.Dispatcher
 	plan  *Plan
 
@@ -162,13 +171,25 @@ type Dispatcher struct {
 }
 
 // Wrap returns a dispatcher that injects plan's faults targeted at role
-// into the syscall stream of inner.
+// into the syscall stream of inner. Injections with a Proc target never
+// match a dispatcher wrapped this way; use WrapProc to carry the name.
 func Wrap(role string, inner sysabi.Dispatcher, plan *Plan) *Dispatcher {
 	return &Dispatcher{role: role, inner: inner, plan: plan}
 }
 
+// WrapProc is Wrap with a process name, so injections can single out one
+// process among several sharing a role — a specific variant of an
+// N-variant fleet, or the canary — via Injection.Proc.
+func WrapProc(role, name string, inner sysabi.Dispatcher, plan *Plan) *Dispatcher {
+	return &Dispatcher{role: role, name: name, inner: inner, plan: plan}
+}
+
 // Role returns the role this dispatcher was wrapped with.
 func (d *Dispatcher) Role() string { return d.role }
+
+// Proc returns the process name this dispatcher was wrapped with (empty
+// for Wrap).
+func (d *Dispatcher) Proc() string { return d.name }
 
 // Invoke implements sysabi.Dispatcher: it checks the plan for a due
 // injection, applies at most one, and (except for errno faults, which
@@ -178,6 +199,9 @@ func (d *Dispatcher) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 	d.Calls++
 	for _, inj := range d.plan.Injections {
 		if inj.fired || (inj.Role != "" && inj.Role != d.role) {
+			continue
+		}
+		if inj.Proc != "" && inj.Proc != d.name {
 			continue
 		}
 		if inj.Op != sysabi.OpInvalid && inj.Op != call.Op {

@@ -223,3 +223,40 @@ func TestStringForms(t *testing.T) {
 		t.Fatalf("Injection.String = %q", got)
 	}
 }
+
+func TestProcTargetingSinglesOutOneProcess(t *testing.T) {
+	inner := &fakeDispatcher{}
+	plan := NewPlan(&Injection{
+		Role: "variant", Proc: "r2#1@v1", Op: sysabi.OpWrite,
+		Kind: KindErrno, Errno: sysabi.EAGAIN,
+	})
+	r1 := WrapProc("variant", "r1#1@v1", inner, plan)
+	r2 := WrapProc("variant", "r2#1@v1", inner, plan)
+	anon := Wrap("variant", inner, plan) // no name: Proc injections skip it
+
+	run(t, func(tk *sim.Task) {
+		w := sysabi.Call{Op: sysabi.OpWrite, FD: 3, Buf: []byte("x")}
+		// Same role, wrong (or missing) proc name: never matches.
+		for i := 0; i < 3; i++ {
+			if res := r1.Invoke(tk, w); res.Err != sysabi.OK {
+				t.Fatalf("r1 write %d: %v", i, res.Err)
+			}
+			if res := anon.Invoke(tk, w); res.Err != sysabi.OK {
+				t.Fatalf("anon write %d: %v", i, res.Err)
+			}
+		}
+		// The named target takes the fault on its first matching call.
+		if res := r2.Invoke(tk, w); res.Err != sysabi.EAGAIN {
+			t.Fatalf("r2 write: err = %v, want EIO", res.Err)
+		}
+	})
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired = %d", plan.Fired())
+	}
+	if got := plan.Injections[0].String(); !strings.Contains(got, "variant(r2#1@v1)") {
+		t.Fatalf("Injection.String = %q (proc target missing)", got)
+	}
+	if r2.Proc() != "r2#1@v1" || anon.Proc() != "" {
+		t.Fatalf("Proc() = %q / %q", r2.Proc(), anon.Proc())
+	}
+}

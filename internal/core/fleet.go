@@ -1,0 +1,591 @@
+// Fleet controller: N-variant execution with quorum verdicts, staged
+// canary updates, and variant eject-and-respawn.
+//
+// Where Controller runs the paper's leader/follower duo (one update in
+// flight, binary keep-or-rollback), FleetController keeps a leader plus
+// K same-version replica variants validating continuously, and stages
+// updates through a canary: one variant is updated first, observed for
+// a configurable window, and the fleet is promoted to the new version
+// only if the canary's divergence rate and validation latency pass the
+// gate. A failed gate — or a canary divergence storm mid-window — rolls
+// back just the canary; clients never leave the old version. Failed
+// replicas are quarantined by quorum verdict and respawned from the
+// leader at its next quiescence barrier, so transient variant loss
+// neither aborts an in-flight update nor touches client traffic.
+//
+// A fleet-leader crash is out of scope here: promoting a replica into a
+// serving leader mid-request requires the crash-truncation replay the
+// duo implements, generalized to N consumers, and is left to a future
+// change. The duo controller remains the recovery story for leader
+// crashes.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mvedsua/internal/dsu"
+	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/vos"
+)
+
+// CanaryGate parameterizes the staged-update observation window.
+type CanaryGate struct {
+	// Window is how long the canary validates before the promotion
+	// decision. Must be > 0: a zero window would promote an unobserved
+	// canary, defeating the staging entirely.
+	Window time.Duration
+	// MaxDivergences is the canary's divergence budget during the
+	// window: it may disagree with the leader (adopting the leader's
+	// result each time) up to this many times and still pass the gate.
+	// Exceeding the budget mid-window is a divergence storm and rolls
+	// the canary back immediately.
+	MaxDivergences int
+	// MaxLag, if > 0, fails the gate when the canary still has more
+	// than this many recorded events unconsumed at window close — a
+	// canary too slow to keep up would stall the fleet after promotion.
+	MaxLag int
+	// MaxValidateLagP99, if > 0, fails the gate when the p99 of the
+	// request validate-lag histogram (drain → validation, span mode
+	// only) exceeds this bound at window close.
+	MaxValidateLagP99 time.Duration
+}
+
+// FleetConfig configures a FleetController. The embedded Config fields
+// retain their duo meanings where applicable (buffer size, costs, DSU
+// template, watchdog, full policy, dispatcher wrapping, recorder);
+// retry fields are unused — fleet updates wait at barriers instead.
+type FleetConfig struct {
+	Config
+	// Variants are the replica variant ids, K = len(Variants) >= 1.
+	// Each id names one validation slot: the variant attached for it is
+	// respawned under the same id (with a new incarnation) after an
+	// eject.
+	Variants []string
+	// Canary gates staged updates.
+	Canary CanaryGate
+}
+
+// validate panics on fleet configurations that cannot mean what the
+// caller intended, mirroring Config.validate's deploy-time strictness.
+func (cfg FleetConfig) validate() {
+	cfg.Config.validate()
+	if len(cfg.Variants) < 1 {
+		panic(fmt.Sprintf("core.FleetConfig: fleet size K = %d; must be >= 1 (the duo is the K=1 special case, not K=0)", len(cfg.Variants)))
+	}
+	seen := make(map[string]bool, len(cfg.Variants))
+	for i, id := range cfg.Variants {
+		if id == "" {
+			panic(fmt.Sprintf("core.FleetConfig: Variants[%d] is empty; every variant needs an id", i))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("core.FleetConfig: duplicate variant id %q; ids name respawn slots and must be unique", id))
+		}
+		seen[id] = true
+	}
+	if cfg.Canary.Window <= 0 {
+		panic(fmt.Sprintf("core.FleetConfig: Canary.Window = %v; must be > 0 (a zero window would promote an unobserved canary)", cfg.Canary.Window))
+	}
+	if cfg.Canary.MaxDivergences < 0 {
+		panic(fmt.Sprintf("core.FleetConfig: Canary.MaxDivergences = %d; must be >= 0", cfg.Canary.MaxDivergences))
+	}
+	if cfg.Canary.MaxLag < 0 {
+		panic(fmt.Sprintf("core.FleetConfig: Canary.MaxLag = %d; must be >= 0", cfg.Canary.MaxLag))
+	}
+	if cfg.Canary.MaxValidateLagP99 < 0 {
+		panic(fmt.Sprintf("core.FleetConfig: Canary.MaxValidateLagP99 = %v; must be >= 0", cfg.Canary.MaxValidateLagP99))
+	}
+}
+
+// FleetPhase is the fleet controller's lifecycle position.
+type FleetPhase int
+
+// Fleet phases.
+const (
+	FleetSteady    FleetPhase = iota // leader + K replicas validating
+	FleetCanary                      // canary attached, window open
+	FleetPromoting                   // gate passed, promotion pending
+	FleetAborted                     // majority verdict; leader serves solo
+)
+
+// String names the phase.
+func (p FleetPhase) String() string {
+	switch p {
+	case FleetSteady:
+		return "steady"
+	case FleetCanary:
+		return "canary"
+	case FleetPromoting:
+		return "promoting"
+	case FleetAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// FleetEvent is one entry of the fleet controller's timeline.
+type FleetEvent struct {
+	At    time.Duration
+	Phase FleetPhase
+	Note  string
+}
+
+// fleetVar is one attached variant's bookkeeping.
+type fleetVar struct {
+	id   string // respawn slot (config id, or "canary")
+	name string // unique proc name ("r1#2@2.0.0")
+	proc *mve.Proc
+	rt   *dsu.Runtime
+}
+
+// FleetController orchestrates one service under N-variant execution.
+type FleetController struct {
+	sched  *sim.Scheduler
+	kernel *vos.Kernel
+	cfg    FleetConfig
+	mon    *mve.Monitor
+	rec    *obs.Recorder
+
+	phase    FleetPhase
+	leaderRT *dsu.Runtime
+	live     map[string]*fleetVar // attached replicas+canary, by proc name
+	canary   *fleetVar
+	pending  *dsu.Version
+
+	spawned  map[string]int // incarnations per slot id
+	respawnQ []string       // slot ids awaiting the next leader barrier
+	rearming bool
+	gateGen  int // invalidates stale gate timers
+
+	timeline []FleetEvent
+
+	// OnVerdict, if non-nil, observes every quorum verdict after the
+	// controller has acted on it.
+	OnVerdict func(mve.Verdict)
+	// OnPhase, if non-nil, observes phase transitions.
+	OnPhase func(FleetEvent)
+}
+
+// NewFleet builds a fleet controller on the kernel's scheduler.
+func NewFleet(kernel *vos.Kernel, cfg FleetConfig) *FleetController {
+	cfg.validate()
+	if cfg.BufferEntries == 0 {
+		cfg.BufferEntries = 256
+	}
+	fc := &FleetController{
+		sched:   kernel.Scheduler(),
+		kernel:  kernel,
+		cfg:     cfg,
+		mon:     mve.New(kernel, cfg.BufferEntries, cfg.Costs),
+		rec:     cfg.Recorder,
+		phase:   FleetSteady,
+		live:    make(map[string]*fleetVar),
+		spawned: make(map[string]int),
+	}
+	fc.mon.SetRecorder(cfg.Recorder)
+	fc.mon.Lockstep = cfg.Lockstep
+	fc.mon.WatchdogDeadline = cfg.WatchdogDeadline
+	fc.mon.FullPolicy = cfg.BufferFullPolicy
+	fc.mon.OnVerdict = fc.applyVerdict
+	fc.mon.OnStall = fc.handleStall
+	fc.mon.OnPromoted = fc.handlePromoted
+	prev := fc.sched.OnCrash
+	fc.sched.OnCrash = func(info sim.CrashInfo) {
+		if !fc.handleCrash(info) && prev != nil {
+			prev(info)
+		}
+	}
+	return fc
+}
+
+// Monitor exposes the underlying MVE monitor.
+func (fc *FleetController) Monitor() *mve.Monitor { return fc.mon }
+
+// Phase returns the current fleet lifecycle phase.
+func (fc *FleetController) Phase() FleetPhase { return fc.phase }
+
+// LeaderRuntime returns the DSU runtime of the current leader process.
+func (fc *FleetController) LeaderRuntime() *dsu.Runtime { return fc.leaderRT }
+
+// Timeline returns the phase-transition history.
+func (fc *FleetController) Timeline() []FleetEvent { return fc.timeline }
+
+// LiveVariants returns the proc names of the currently attached
+// variants (replicas and canary), in attach order.
+func (fc *FleetController) LiveVariants() []string {
+	var out []string
+	for _, p := range fc.mon.Variants() {
+		out = append(out, p.Name())
+	}
+	return out
+}
+
+func (fc *FleetController) transition(phase FleetPhase, note string) {
+	fc.phase = phase
+	ev := FleetEvent{At: fc.sched.Now(), Phase: phase, Note: note}
+	fc.timeline = append(fc.timeline, ev)
+	fc.rec.Inc(obs.CCoreTransitions)
+	fc.rec.Emit(obs.KindStage, "fleet:"+phase.String(), note)
+	if fc.OnPhase != nil {
+		fc.OnPhase(ev)
+	}
+}
+
+func (fc *FleetController) procName(id, version string) string {
+	fc.spawned[id]++
+	return fmt.Sprintf("%s#%d@%s", id, fc.spawned[id], version)
+}
+
+// dsuCfg builds a variant runtime config: wrapped dispatcher, no update
+// hooks (fleet updates go through barriers, not RequestUpdate).
+func (fc *FleetController) dsuCfg(role, name string, proc *mve.Proc, parallelXform bool) dsu.Config {
+	cfg := fc.cfg.DSU
+	cfg.Name = name
+	cfg.Dispatcher = proc
+	if fc.cfg.WrapDispatcher != nil {
+		cfg.Dispatcher = fc.cfg.WrapDispatcher(role, name, proc)
+	}
+	cfg.ParallelXform = parallelXform
+	cfg.TakeUpdate = nil
+	cfg.OnOutcome = nil
+	cfg.Rec = fc.rec
+	return cfg
+}
+
+// Start deploys app as leader plus K cold-started replica variants.
+// The variants attach before the leader's first syscall, so each one
+// validates the leader's entire execution from the top (the Mx-style
+// cold duo, generalized to K cursors over one recorded stream).
+func (fc *FleetController) Start(app dsu.App) *dsu.Runtime {
+	proc := fc.mon.StartSingleLeader(fc.procName("leader", app.Version()))
+	var vars []*fleetVar
+	for _, id := range fc.cfg.Variants {
+		vars = append(vars, fc.attachVariant(id, app.Version()))
+	}
+	fc.leaderRT = dsu.NewRuntime(fc.sched, app, fc.dsuCfg("leader", "leader", proc, false))
+	fc.leaderRT.Start()
+	for _, fv := range vars {
+		fv.rt = dsu.NewRuntime(fc.sched, app.Fork(), fc.dsuCfg("variant", fv.name, fv.proc, false))
+		fv.rt.Start()
+	}
+	fc.transition(FleetSteady, fmt.Sprintf("deployed %s with %d variants", app.Version(), len(vars)))
+	return fc.leaderRT
+}
+
+// attachVariant opens the monitor-side slot for a same-version replica
+// of id (no adaptation rules); the caller starts the runtime.
+func (fc *FleetController) attachVariant(id, version string) *fleetVar {
+	name := fc.procName(id, version)
+	fv := &fleetVar{id: id, name: name, proc: fc.mon.AttachVariant(name, nil)}
+	fc.live[name] = fv
+	return fv
+}
+
+// Update stages v through a canary: at the leader's next quiescence
+// barrier a variant is forked, transformed to v, and observed for the
+// configured window before the promotion decision. Returns false if a
+// canary is already in flight or the fleet has been aborted.
+func (fc *FleetController) Update(v *dsu.Version) bool {
+	if fc.phase != FleetSteady || fc.pending != nil {
+		return false
+	}
+	fc.pending = v
+	fc.rec.Inc(obs.CCoreUpdates)
+	fc.atBarrier("canary-fork@"+v.Name, func(t *sim.Task) { fc.startCanary(v) })
+	return true
+}
+
+// startCanary runs at a leader barrier: fork, attach as canary, apply
+// the update on the fork, open the observation window.
+func (fc *FleetController) startCanary(v *dsu.Version) {
+	if fc.phase != FleetSteady || fc.pending != v {
+		return // superseded (abort, rollback) while waiting for the barrier
+	}
+	forked := fc.leaderRT.App().Fork()
+	name := fc.procName("canary", v.Name)
+	proc := fc.mon.AttachVariant(name, v.Rules)
+	fc.mon.MarkCanary(proc, fc.cfg.Canary.MaxDivergences)
+	fv := &fleetVar{id: "canary", name: name, proc: proc}
+	fv.rt = dsu.NewRuntime(fc.sched, forked, fc.dsuCfg("canary", name, proc, true))
+	fv.rt.StartUpdatedFrom(forked, v)
+	fc.live[name] = fv
+	fc.canary = fv
+	fc.transition(FleetCanary, fmt.Sprintf("canary %s forked; observing for %v", name, fc.cfg.Canary.Window))
+	fc.gateGen++
+	gen := fc.gateGen
+	fc.sched.Go("canary-gate@"+v.Name, func(t *sim.Task) {
+		t.Sleep(fc.cfg.Canary.Window)
+		fc.evaluateGate(gen)
+	})
+}
+
+// evaluateGate closes the observation window: promote on a clean gate,
+// roll the canary back otherwise. A stale generation means the canary
+// this timer was armed for is already gone (storm rollback, abort).
+func (fc *FleetController) evaluateGate(gen int) {
+	if gen != fc.gateGen || fc.phase != FleetCanary || fc.canary == nil {
+		return
+	}
+	p := fc.canary.proc
+	divs, lag := p.VariantDivergences(), p.VariantLag()
+	if fail := fc.gateFailure(divs, lag); fail != "" {
+		fc.rollbackCanary("gate failed: " + fail)
+		return
+	}
+	fc.transition(FleetPromoting, fmt.Sprintf("gate passed (%d/%d divergences, lag %d); promoting at next barrier",
+		divs, fc.cfg.Canary.MaxDivergences, lag))
+	fc.atBarrier("promote@"+fc.canary.name, func(t *sim.Task) {
+		if fc.phase != FleetPromoting || !fc.mon.PromoteFleet(t) {
+			if fc.phase == FleetPromoting {
+				fc.rollbackCanary("canary unhealthy at promotion barrier")
+			}
+		}
+	})
+}
+
+// gateFailure returns a non-empty reason if the gate's thresholds are
+// violated at window close.
+func (fc *FleetController) gateFailure(divs, lag int) string {
+	g := fc.cfg.Canary
+	if divs > g.MaxDivergences {
+		return fmt.Sprintf("%d divergences exceed budget %d", divs, g.MaxDivergences)
+	}
+	if g.MaxLag > 0 && lag > g.MaxLag {
+		return fmt.Sprintf("lag %d exceeds %d", lag, g.MaxLag)
+	}
+	if g.MaxValidateLagP99 > 0 && fc.rec.SpansEnabled() {
+		if p99 := fc.rec.Hist(obs.HReqValidateLag).Quantile(0.99); p99 > g.MaxValidateLagP99 {
+			return fmt.Sprintf("validate-lag p99 %v exceeds %v", p99, g.MaxValidateLagP99)
+		}
+	}
+	return ""
+}
+
+// rollbackCanary abandons the staged update: the canary is ejected and
+// reaped; the old-version fleet continues untouched.
+func (fc *FleetController) rollbackCanary(reason string) {
+	fv := fc.canary
+	if fv == nil {
+		return
+	}
+	fc.canary = nil
+	fc.pending = nil
+	fc.gateGen++ // cancel any open window
+	if fc.mon.VariantByName(fv.name) != nil {
+		fc.mon.EjectVariant(fv.proc, reason)
+	}
+	if fv.rt != nil {
+		fv.rt.KillAll()
+	}
+	delete(fc.live, fv.name)
+	fc.rec.Inc(obs.CCanaryRollbacks)
+	fc.transition(FleetSteady, "canary rolled back: "+reason)
+}
+
+// Shutdown tears the whole fleet down for harness teardown: every
+// variant is ejected from the monitor (releasing ring cursors and
+// stopping watchdogs) and every runtime, leader included, is killed.
+// This is not a lifecycle operation — no verdicts are put to the
+// quorum and nothing is respawned.
+func (fc *FleetController) Shutdown() {
+	fc.gateGen++
+	fc.pending = nil
+	fc.canary = nil
+	fc.respawnQ = nil
+	for _, p := range fc.mon.Variants() {
+		fc.mon.EjectVariant(p, "shutdown")
+	}
+	for _, fv := range fc.live {
+		if fv.rt != nil {
+			fv.rt.KillAll()
+		}
+	}
+	fc.live = make(map[string]*fleetVar)
+	if fc.leaderRT != nil {
+		fc.leaderRT.KillAll()
+	}
+}
+
+// applyVerdict is the monitor's divergence-verdict hook and the shared
+// consequence path for crash and stall verdicts.
+func (fc *FleetController) applyVerdict(v mve.Verdict) {
+	switch v.Action {
+	case mve.VerdictEject:
+		fc.ejectAndQueue(v)
+	case mve.VerdictAbort:
+		fc.abortFleet(v)
+	case mve.VerdictRollbackCanary:
+		fc.rollbackCanary(v.Cause)
+	}
+	if fc.OnVerdict != nil {
+		fc.OnVerdict(v)
+	}
+}
+
+// ejectAndQueue quarantines a minority variant and queues its slot for
+// respawn at the leader's next quiescence barrier. The monitor-side
+// ejection is deferred by one scheduling round: a failed variant stays
+// counted against the quorum for the instant it failed in, so a second
+// failure landing in the same event batch is judged 2-of-N (abort), not
+// 1-of-(N-1) after a premature eject.
+func (fc *FleetController) ejectAndQueue(v mve.Verdict) {
+	fv := fc.live[v.Proc]
+	if fv == nil {
+		return
+	}
+	fc.transition(fc.phase, fmt.Sprintf("variant %s ejected (%s); respawn queued", fv.name, v.Cause))
+	fc.sched.Go("eject:"+fv.name, func(t *sim.Task) {
+		if fc.live[fv.name] != fv {
+			return // an abort or promotion already swept it up
+		}
+		fc.mon.EjectVariant(fv.proc, v.Cause)
+		if fv.rt != nil {
+			fv.rt.KillAll()
+		}
+		delete(fc.live, fv.name)
+		fc.respawnQ = append(fc.respawnQ, fv.id)
+		fc.armRespawn()
+	})
+}
+
+// abortFleet tears the fleet down after a majority verdict: the leader
+// keeps serving solo; nothing is respawned.
+func (fc *FleetController) abortFleet(v mve.Verdict) {
+	for _, fv := range fc.live {
+		if fv.rt != nil {
+			fv.rt.KillAll()
+		}
+	}
+	fc.live = make(map[string]*fleetVar)
+	fc.canary = nil
+	fc.pending = nil
+	fc.respawnQ = nil
+	fc.gateGen++
+	fc.mon.AbortFleet(v.String())
+	fc.transition(FleetAborted, "fleet aborted: "+v.String())
+}
+
+// armRespawn schedules the queued slots to be refilled at the leader's
+// next quiescence. One armed barrier drains the whole queue.
+func (fc *FleetController) armRespawn() {
+	if fc.rearming || len(fc.respawnQ) == 0 {
+		return
+	}
+	fc.rearming = true
+	fc.atBarrier("fleet-respawn", func(t *sim.Task) { fc.respawnQueued() })
+}
+
+// respawnQueued runs at a leader barrier: every queued slot gets a
+// fresh fork of the leader. The fork resumes mid-service (its state,
+// descriptors and tables came with the fork), and its cursor opens at
+// the quiescent stream end, so validation aligns from the first event.
+func (fc *FleetController) respawnQueued() {
+	fc.rearming = false
+	if fc.phase == FleetAborted {
+		fc.respawnQ = nil
+		return
+	}
+	q := fc.respawnQ
+	fc.respawnQ = nil
+	for _, id := range q {
+		fv := fc.attachVariant(id, fc.leaderRT.App().Version())
+		fv.rt = dsu.NewRuntime(fc.sched, fc.leaderRT.App().Fork(), fc.dsuCfg("variant", fv.name, fv.proc, false))
+		fv.rt.StartForked(fv.rt.App())
+		fc.rec.Inc(obs.CFleetRespawns)
+		fc.transition(fc.phase, "respawned variant "+fv.name)
+	}
+}
+
+// atBarrier requests fn at the current leader's quiescence, retrying
+// while another barrier or update attempt holds the slot.
+func (fc *FleetController) atBarrier(name string, fn func(t *sim.Task)) {
+	if fc.leaderRT.RequestBarrier(fn) {
+		return
+	}
+	fc.sched.Go("barrier-wait:"+name, func(t *sim.Task) {
+		for !fc.leaderRT.RequestBarrier(fn) {
+			t.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// handlePromoted fires when the canary has taken over as leader: the
+// retired old leader and the superseded replicas are reaped, and a
+// fresh fleet of K variants is respawned from the new leader.
+func (fc *FleetController) handlePromoted(newLeader *mve.Proc) {
+	fv := fc.canary
+	if fv == nil || fv.proc != newLeader {
+		return // duo-style promotion cannot happen under the fleet controller
+	}
+	oldRT := fc.leaderRT
+	fc.leaderRT = fv.rt
+	fc.canary = nil
+	fc.pending = nil
+	delete(fc.live, fv.name)
+	// Replicas ejected by PromoteFleet: their runtimes park on closed
+	// cursors; reap them with the retired leader.
+	stale := fc.live
+	fc.live = make(map[string]*fleetVar)
+	fc.rec.Inc(obs.CCanaryPromotions)
+	fc.rec.Inc(obs.CCoreCommits)
+	fc.transition(FleetSteady, newLeader.Name()+" promoted; respawning fleet")
+	fc.sched.Go("reap-retired", func(t *sim.Task) {
+		for _, sv := range stale {
+			if sv.rt != nil {
+				sv.rt.KillAll()
+			}
+		}
+		if oldRT != nil {
+			oldRT.KillAll()
+			for oldRT.LiveThreads() > 0 {
+				t.Yield()
+			}
+		}
+		fc.respawnQ = append(fc.respawnQ, fc.cfg.Variants...)
+		fc.armRespawn()
+	})
+}
+
+// handleStall maps a liveness signal to its variant and puts the
+// failure to the quorum, like a divergence.
+func (fc *FleetController) handleStall(st mve.Stall) {
+	p := fc.mon.VariantByName(st.Proc)
+	if p == nil || p.Failed() {
+		return
+	}
+	fc.applyVerdict(fc.mon.FailVariant(p, "stall"))
+}
+
+// handleCrash classifies a task crash by owner: variant crashes go to
+// the quorum; a leader crash is out of scope for the fleet controller
+// (see the package comment) and is only recorded.
+func (fc *FleetController) handleCrash(info sim.CrashInfo) bool {
+	for _, fv := range fc.live {
+		if runtimeOwns(fv.rt, info) {
+			if !fv.proc.Failed() {
+				fc.applyVerdict(fc.mon.FailVariant(fv.proc, "crash"))
+			}
+			return true
+		}
+	}
+	if runtimeOwns(fc.leaderRT, info) {
+		fc.transition(fc.phase, fmt.Sprintf("leader crashed (%v); fleet leader failover not implemented", info.Value))
+		return true
+	}
+	return false
+}
+
+// runtimeOwns reports whether a crashed task belongs to rt. Runtime
+// tasks are named "<cfgname>/<thread>@<version>"; crashed tasks are
+// matched by name prefix since the task may already be deregistered by
+// the time the crash is reported.
+func runtimeOwns(rt *dsu.Runtime, info sim.CrashInfo) bool {
+	if rt == nil {
+		return false
+	}
+	name := rt.Config().Name + "/"
+	return len(info.Task) >= len(name) && info.Task[:len(name)] == name
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mvedsua/internal/chaos"
+	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/sysabi"
+	"mvedsua/internal/vos"
+)
+
+// fleetCfg is the baseline valid fleet config the validation table
+// perturbs.
+func fleetCfg(variants ...string) FleetConfig {
+	if len(variants) == 0 {
+		variants = []string{"r1"}
+	}
+	return FleetConfig{
+		Variants: variants,
+		Canary:   CanaryGate{Window: 100 * time.Millisecond},
+	}
+}
+
+func TestFleetConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*FleetConfig)
+		want string // panic substring; empty = must not panic
+	}{
+		{"valid K=1", func(cfg *FleetConfig) {}, ""},
+		{"valid K=3", func(cfg *FleetConfig) { cfg.Variants = []string{"r1", "r2", "r3"} }, ""},
+		{"no variants", func(cfg *FleetConfig) { cfg.Variants = nil }, "K = 0"},
+		{"empty id", func(cfg *FleetConfig) { cfg.Variants = []string{"r1", ""} }, "Variants[1] is empty"},
+		{"duplicate id", func(cfg *FleetConfig) { cfg.Variants = []string{"r1", "r2", "r1"} }, `duplicate variant id "r1"`},
+		{"zero window", func(cfg *FleetConfig) { cfg.Canary.Window = 0 }, "Canary.Window"},
+		{"negative window", func(cfg *FleetConfig) { cfg.Canary.Window = -time.Second }, "Canary.Window"},
+		{"negative budget", func(cfg *FleetConfig) { cfg.Canary.MaxDivergences = -1 }, "Canary.MaxDivergences"},
+		{"negative lag bound", func(cfg *FleetConfig) { cfg.Canary.MaxLag = -2 }, "Canary.MaxLag"},
+		{"negative p99 bound", func(cfg *FleetConfig) { cfg.Canary.MaxValidateLagP99 = -time.Millisecond }, "Canary.MaxValidateLagP99"},
+		{"embedded config still checked", func(cfg *FleetConfig) { cfg.BufferEntries = -1 }, "BufferEntries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fleetCfg()
+			tc.mut(&cfg)
+			defer func() {
+				r := recover()
+				switch {
+				case tc.want == "" && r != nil:
+					t.Fatalf("unexpected panic: %v", r)
+				case tc.want != "" && r == nil:
+					t.Fatalf("no panic; want one mentioning %q", tc.want)
+				case tc.want != "" && !strings.Contains(fmt.Sprint(r), tc.want):
+					t.Fatalf("panic %q does not mention %q", fmt.Sprint(r), tc.want)
+				}
+			}()
+			cfg.validate()
+		})
+	}
+}
+
+// fleetHarness wires a fleet controller plus a gated client.
+type fleetHarness struct {
+	s       *sim.Scheduler
+	k       *vos.Kernel
+	fc      *FleetController
+	rec     *obs.Recorder
+	replies []string
+	done    bool
+}
+
+func newFleetHarness(cfg FleetConfig) *fleetHarness {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rec := obs.New(s.Now, obs.Options{})
+	cfg.Recorder = rec
+	return &fleetHarness{s: s, k: k, rec: rec, fc: NewFleet(k, cfg)}
+}
+
+func (h *fleetHarness) client(n int, hooks map[int]func(tk *sim.Task)) {
+	h.s.Go("client", func(tk *sim.Task) {
+		fd := int(h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		for i := 0; i < n; i++ {
+			if hook := hooks[i]; hook != nil {
+				hook(tk)
+			}
+			h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			h.replies = append(h.replies, string(r.Data))
+			tk.Sleep(10 * time.Millisecond)
+		}
+		h.k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+		h.done = true
+	})
+}
+
+func (h *fleetHarness) run(t *testing.T) {
+	t.Helper()
+	h.s.Go("teardown", func(tk *sim.Task) {
+		for !h.done {
+			tk.Sleep(50 * time.Millisecond)
+		}
+		// Let in-flight verdict/respawn machinery settle before the axe.
+		// Only the runtimes are killed — not Shutdown() — so the tests
+		// can still assert on the monitor-side fleet state afterwards.
+		tk.Sleep(100 * time.Millisecond)
+		for _, fv := range h.fc.live {
+			if fv.rt != nil {
+				fv.rt.KillAll()
+			}
+		}
+		if h.fc.leaderRT != nil {
+			h.fc.leaderRT.KillAll()
+		}
+	})
+	if err := h.s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func (h *fleetHarness) timelineHas(substr string) bool {
+	for _, ev := range h.fc.Timeline() {
+		if strings.Contains(ev.Note, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFleetSteadyState: leader + two replicas validate a whole client
+// session; nobody diverges, nobody is ejected.
+func TestFleetSteadyState(t *testing.T) {
+	h := newFleetHarness(fleetCfg("r1", "r2"))
+	h.fc.Start(&srv{version: "v1"})
+	h.client(6, nil)
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if h.fc.Phase() != FleetSteady {
+		t.Fatalf("phase = %v", h.fc.Phase())
+	}
+	if got := h.fc.LiveVariants(); len(got) != 2 {
+		t.Fatalf("live variants = %v", got)
+	}
+	if n := len(h.fc.Monitor().Divergences()); n != 0 {
+		t.Fatalf("divergences: %v", h.fc.Monitor().Divergences())
+	}
+}
+
+// TestFleetEjectAndRespawn: a targeted chaos crash kills one replica;
+// the quorum ejects it, clients see nothing, and the slot is respawned
+// from the leader at its next quiescence under a fresh incarnation.
+func TestFleetEjectAndRespawn(t *testing.T) {
+	cfg := fleetCfg("r1", "r2")
+	plan := chaos.NewPlan(&chaos.Injection{
+		Proc: "r2#1@v1", Op: sysabi.OpWrite, AfterCalls: 2, Kind: chaos.KindCrash,
+	})
+	cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+		return chaos.WrapProc(role, name, d, plan)
+	}
+	h := newFleetHarness(cfg)
+	var verdicts []string
+	h.fc.OnVerdict = func(v mve.Verdict) { verdicts = append(verdicts, v.String()) }
+	h.fc.Start(&srv{version: "v1"})
+	h.client(8, nil)
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v (eject was client-visible)", h.replies)
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("chaos fired %d times", plan.Fired())
+	}
+	if len(verdicts) != 1 || !strings.Contains(verdicts[0], "eject") {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+	if !h.timelineHas("r2#1@v1 ejected") || !h.timelineHas("respawned variant r2#2@v1") {
+		t.Fatalf("timeline missing eject/respawn: %+v", h.fc.Timeline())
+	}
+	live := strings.Join(h.fc.LiveVariants(), ",")
+	if live != "r1#1@v1,r2#2@v1" {
+		t.Fatalf("live variants = %q", live)
+	}
+	if got := h.rec.Counter(obs.CFleetRespawns); got != 1 {
+		t.Fatalf("respawns counter = %d", got)
+	}
+	if h.fc.Phase() != FleetSteady {
+		t.Fatalf("phase = %v", h.fc.Phase())
+	}
+}
+
+// TestCanaryPromoteOnCleanGate: a staged update runs clean through the
+// observation window; the gate passes, the canary is promoted, the old
+// fleet is reaped, and K fresh variants respawn from the new leader.
+func TestCanaryPromoteOnCleanGate(t *testing.T) {
+	cfg := fleetCfg("r1", "r2")
+	cfg.Canary.Window = 40 * time.Millisecond
+	h := newFleetHarness(cfg)
+	h.fc.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(10, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) {
+			if !h.fc.Update(v2) {
+				t.Error("Update rejected")
+			}
+		},
+	})
+	h.run(t)
+	// The counter survives the staged update: replies are 1..10 with a
+	// single switch from v1 format ("N") to v2 format ("v2:N").
+	switched := false
+	for i, r := range h.replies {
+		want := fmt.Sprintf("%d", i+1)
+		if strings.HasPrefix(r, "v2:") {
+			switched = true
+			want = "v2:" + want
+		} else if switched {
+			t.Fatalf("reply %d reverted to v1 after promotion: %v", i, h.replies)
+		}
+		if r != want {
+			t.Fatalf("reply %d = %q, want %q (%v)", i, r, want, h.replies)
+		}
+	}
+	if !switched {
+		t.Fatalf("promotion never reached clients: %v", h.replies)
+	}
+	if h.fc.Phase() != FleetSteady {
+		t.Fatalf("phase = %v", h.fc.Phase())
+	}
+	if got := h.fc.LeaderRuntime().App().Version(); got != "v2" {
+		t.Fatalf("leader version = %s", got)
+	}
+	if got := h.rec.Counter(obs.CCanaryPromotions); got != 1 {
+		t.Fatalf("promotions counter = %d", got)
+	}
+	// The fleet was respawned at full strength from the new leader.
+	live := h.fc.LiveVariants()
+	if len(live) != 2 || !strings.Contains(live[0], "@v2") || !strings.Contains(live[1], "@v2") {
+		t.Fatalf("live variants after promotion = %v", live)
+	}
+	if got := h.rec.Counter(obs.CFleetRespawns); got != 2 {
+		t.Fatalf("respawns counter = %d", got)
+	}
+}
+
+// TestCanaryRollbackOnDivergenceStorm: the staged version misbehaves
+// past its divergence budget mid-window; only the canary is rolled
+// back — the old-version fleet and clients never notice.
+func TestCanaryRollbackOnDivergenceStorm(t *testing.T) {
+	cfg := fleetCfg("r1")
+	cfg.Canary.Window = 200 * time.Millisecond
+	cfg.Canary.MaxDivergences = 1
+	h := newFleetHarness(cfg)
+	h.fc.Start(&srv{version: "v1"})
+	// v2 misformats every reply after count 4: divergence #1 is absorbed
+	// against the budget, #2 is the storm verdict.
+	v2 := upgrade(nil, func(n *srv) { n.misformatAfter = 4 })
+	h.client(10, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.fc.Update(v2) },
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v (rollback was client-visible)", h.replies)
+	}
+	if h.fc.Phase() != FleetSteady {
+		t.Fatalf("phase = %v", h.fc.Phase())
+	}
+	if got := h.fc.LeaderRuntime().App().Version(); got != "v1" {
+		t.Fatalf("leader version = %s", got)
+	}
+	if got := h.rec.Counter(obs.CCanaryRollbacks); got != 1 {
+		t.Fatalf("rollbacks counter = %d", got)
+	}
+	if got := h.rec.Counter(obs.CCanaryPromotions); got != 0 {
+		t.Fatalf("promotions counter = %d", got)
+	}
+	if !h.timelineHas("canary rolled back") {
+		t.Fatalf("timeline missing rollback: %+v", h.fc.Timeline())
+	}
+	if h.fc.Monitor().Canary() != nil {
+		t.Fatal("canary still attached after rollback")
+	}
+	// The same-version replica was untouched throughout.
+	if live := strings.Join(h.fc.LiveVariants(), ","); live != "r1#1@v1" {
+		t.Fatalf("live variants = %q", live)
+	}
+}
+
+// TestCanaryRollbackOnFailedGate: the canary never diverges but stops
+// consuming events (targeted chaos stall); at window close its lag
+// violates the gate and the update is rolled back.
+func TestCanaryRollbackOnFailedGate(t *testing.T) {
+	cfg := fleetCfg("r1")
+	cfg.Canary.Window = 50 * time.Millisecond
+	cfg.Canary.MaxLag = 1
+	plan := chaos.NewPlan(&chaos.Injection{
+		Proc: "canary#1@v2", AfterCalls: 1, Kind: chaos.KindStall,
+	})
+	cfg.WrapDispatcher = func(role, name string, d sysabi.Dispatcher) sysabi.Dispatcher {
+		return chaos.WrapProc(role, name, d, plan)
+	}
+	h := newFleetHarness(cfg)
+	h.fc.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(10, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) { h.fc.Update(v2) },
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("chaos fired %d times (stall never hit the canary)", plan.Fired())
+	}
+	if h.fc.Phase() != FleetSteady || h.fc.LeaderRuntime().App().Version() != "v1" {
+		t.Fatalf("phase=%v version=%s", h.fc.Phase(), h.fc.LeaderRuntime().App().Version())
+	}
+	if !h.timelineHas("gate failed") {
+		t.Fatalf("timeline missing gate failure: %+v", h.fc.Timeline())
+	}
+	if got := h.rec.Counter(obs.CCanaryRollbacks); got != 1 {
+		t.Fatalf("rollbacks counter = %d", got)
+	}
+}
+
+// TestFleetUpdateGuards: a second update is refused while a canary is
+// in flight, and accepted again after its rollback.
+func TestFleetUpdateGuards(t *testing.T) {
+	cfg := fleetCfg("r1")
+	cfg.Canary.Window = 500 * time.Millisecond // outlives the client
+	h := newFleetHarness(cfg)
+	h.fc.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	h.client(6, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) {
+			if !h.fc.Update(v2) {
+				t.Error("first Update rejected")
+			}
+		},
+		4: func(tk *sim.Task) {
+			if h.fc.Update(v2) {
+				t.Error("second Update accepted with a canary in flight")
+			}
+		},
+	})
+	h.run(t)
+	// Exactly one canary was ever forked; the refused second request
+	// left no trace.
+	if got := h.fc.spawned["canary"]; got != 1 {
+		t.Fatalf("canary incarnations = %d", got)
+	}
+	if got := h.rec.Counter(obs.CCoreUpdates); got != 1 {
+		t.Fatalf("updates counter = %d", got)
+	}
+}

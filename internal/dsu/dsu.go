@@ -241,6 +241,18 @@ func (rt *Runtime) Start() *sim.Task {
 	return rt.launch(rt.app, false)
 }
 
+// StartForked boots this runtime as a freshly-forked same-version
+// replica of a running process: no state transformation — the forked
+// state is already current — but the main loop enters with
+// Updating() == true, as any process resuming from transferred state
+// does (its descriptors and tables came with the fork; a cold Main
+// would recreate them). This is how the fleet controller respawns an
+// ejected variant from the leader at a quiescence barrier.
+func (rt *Runtime) StartForked(app App) *sim.Task {
+	rt.app = app
+	return rt.launch(app, true)
+}
+
 // StartUpdatedFrom boots this runtime as a freshly-forked follower that
 // immediately applies the pending update: it transforms old's state
 // (charging the transformation cost) and enters the new version's main

@@ -44,6 +44,7 @@ const (
 	RoleSingleLeader Role = iota // alone, lightweight interception
 	RoleLeader                   // executing natively, recording
 	RoleFollower                 // replaying and validating
+	RoleRetired                  // handed leadership to a promoted canary; parked until reaped
 )
 
 // String returns the role name.
@@ -55,9 +56,37 @@ func (r Role) String() string {
 		return "leader"
 	case RoleFollower:
 		return "follower"
+	case RoleRetired:
+		return "retired"
 	default:
 		return fmt.Sprintf("role(%d)", int(r))
 	}
+}
+
+// stream is the consumer-side surface a follower validates from: the
+// shared duo ring buffer (the K=1 special case) or a fleet variant's
+// private cursor over the multi-cursor ring. Both implementations have
+// identical method semantics, so the entire follower machinery — TID
+// demux, rewrite lookahead, global-order retirement, watchdog sampling —
+// runs unchanged against either.
+type stream interface {
+	DrainUpTo(t *sim.Task, dst []ringbuf.Entry, max int) []ringbuf.Entry
+	DrainInto(t *sim.Task, dst []ringbuf.Entry) []ringbuf.Entry
+	Closed() bool
+	Empty() bool
+	Len() int
+}
+
+// sink is the producer-side surface the leader records into: the duo
+// buffer or the fleet's multi-cursor ring.
+type sink interface {
+	Put(t *sim.Task, e ringbuf.Entry) bool
+	PutBatch(t *sim.Task, batch []ringbuf.Entry) (int, bool)
+	TryAppend(e ringbuf.Entry) bool
+	WaitDrained(t *sim.Task)
+	Closed() bool
+	Len() int
+	NextSeq() uint64
 }
 
 // Costs models the virtual-time overheads of the monitor's machinery.
@@ -179,6 +208,18 @@ type Monitor struct {
 	leader   *Proc
 	follower *Proc
 
+	// snk is the leader's record target: the duo buffer until a fleet is
+	// attached, then the multi-cursor ring. Duo behaviour is unchanged —
+	// the interface dispatches to the same *ringbuf.Buffer methods.
+	snk sink
+
+	// Fleet mode (K>=1 variants, see fleet.go): each variant validates
+	// through its own cursor over mbuf; failures are judged by majority
+	// quorum instead of the duo's binary keep-or-rollback.
+	mbuf     *ringbuf.MultiBuffer
+	variants []*Proc
+	canary   *Proc
+
 	// Lockstep forces the leader to wait for the follower after every
 	// recorded event, reproducing the MUC/Mx baseline's behaviour.
 	Lockstep bool
@@ -208,6 +249,14 @@ type Monitor struct {
 	// OnPromoted is invoked when a promotion completes: the old follower
 	// has drained the buffer and taken over as leader (§3.2 t5).
 	OnPromoted func(newLeader *Proc)
+
+	// OnVerdict is invoked when a fleet variant fails (divergence or
+	// stall raised from inside the monitor) with the quorum's decision.
+	// Crash verdicts are computed by FailVariant at the caller's request
+	// instead, since crash detection lives outside the monitor. The
+	// handler owns the consequences (eject-and-respawn, canary rollback,
+	// or fleet abort); with no handler the verdict is only logged.
+	OnVerdict func(Verdict)
 
 	promoteRequested bool
 	divergences      []Divergence
@@ -247,6 +296,7 @@ func New(kernel *vos.Kernel, bufCap int, costs Costs) *Monitor {
 		costs:  costs,
 		buf:    ringbuf.New(kernel.Scheduler(), bufCap),
 	}
+	m.snk = m.buf
 	return m
 }
 
@@ -259,6 +309,9 @@ func (m *Monitor) Buffer() *ringbuf.Buffer { return m.buf }
 func (m *Monitor) SetRecorder(rec *obs.Recorder) {
 	m.rec = rec
 	m.buf.Rec = rec
+	if m.mbuf != nil {
+		m.mbuf.Rec = rec
+	}
 }
 
 // Recorder returns the attached flight recorder, or nil.
@@ -354,6 +407,31 @@ type Proc struct {
 
 	diverged bool
 	kstate   KernelState
+
+	// src is the stream this proc validates from while following: the
+	// shared duo buffer, or this variant's private fleet cursor. Set
+	// whenever the proc enters RoleFollower.
+	src stream
+
+	// cursor is non-nil for fleet variants: the proc's position in the
+	// multi-cursor ring. Closing it (eject) frees its retention.
+	cursor *ringbuf.Cursor
+
+	// failed marks a fleet variant that diverged, crashed or stalled;
+	// quorum verdicts count failed vs attached variants.
+	failed bool
+
+	// divergeCount counts this variant's divergences. A canary with
+	// DivergenceBudget > 0 absorbs that many divergences (adopting the
+	// leader's recorded result and continuing) before one becomes fatal;
+	// the canary gate reads the count at the end of the window.
+	divergeCount int
+
+	// DivergenceBudget is the number of divergences a canary variant may
+	// absorb before the monitor raises a rollback verdict. Zero (the
+	// default, and always for non-canary variants) makes the first
+	// divergence fatal.
+	DivergenceBudget int
 
 	// progress counts consumption steps (buffer pulls and validated
 	// events) while this proc follows; the liveness watchdog samples it.
@@ -506,10 +584,14 @@ func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
 	if m.follower != nil {
 		panic("mve: follower already attached")
 	}
+	if len(m.variants) > 0 {
+		panic("mve: duo follower and fleet variants are exclusive")
+	}
 	m.buf.Reset()
 	f := newProc(m, name, RoleFollower)
 	f.engine = dsl.NewEngine(rules)
 	f.kstate = m.leader.kstate.Clone()
+	f.src = m.buf
 	m.follower = f
 	m.leader.role = RoleLeader
 	m.logf("%s attached as follower of %s (buffer %d entries)", name, m.leader.name, m.buf.Cap())
@@ -520,11 +602,18 @@ func (m *Monitor) AttachFollower(name string, rules *dsl.RuleSet) *Proc {
 	return f
 }
 
-// startWatchdog arms a liveness watchdog over follower f: if f consumes
+// startWatchdog arms a liveness watchdog over consumer f: if f consumes
 // no events for WatchdogDeadline of virtual time while entries are
 // pending, the watchdog raises a Stall and exits. The watchdog also
-// exits silently once f stops being the follower (promotion, rollback,
-// commit), so each leader/follower pairing carries its own watchdog.
+// exits silently once f stops being a supervised consumer (promotion,
+// rollback, commit, eject), so each pairing carries its own watchdog.
+//
+// The watchdog is strictly per-variant: it samples f's own progress
+// counter against f's own stream, and the progress counter ticks on
+// every drain — full or partial — so any batch f pulls resets its
+// timer. A sibling variant draining the shared recorded stream at a
+// different rate contributes nothing to f's progress and can neither
+// mask a stalled f nor be masked by a busy f.
 func (m *Monitor) startWatchdog(f *Proc) {
 	if m.WatchdogDeadline <= 0 {
 		return
@@ -539,24 +628,41 @@ func (m *Monitor) startWatchdog(f *Proc) {
 		lastAt := t.Now()
 		for {
 			t.Sleep(poll)
-			if m.follower != f || f.role != RoleFollower || m.buf.Closed() {
+			if !m.watching(f) || f.src == nil || f.src.Closed() {
 				return
 			}
 			if f.progress != last {
 				last, lastAt = f.progress, t.Now()
 				continue
 			}
-			if m.buf.Empty() && f.queuesEmpty() {
+			if f.src.Empty() && f.queuesEmpty() {
 				// Nothing to consume: an idle follower is not stalled.
 				lastAt = t.Now()
 				continue
 			}
 			if stalled := t.Now() - lastAt; stalled >= deadline {
-				m.raiseStall(Stall{Proc: f.name, Reason: "no-progress", Stalled: stalled, Pending: m.buf.Len()})
+				m.raiseStall(Stall{Proc: f.name, Reason: "no-progress", Stalled: stalled, Pending: f.src.Len()})
 				return
 			}
 		}
 	})
+}
+
+// watching reports whether f is still a validating consumer this monitor
+// supervises: the duo follower, or an attached fleet variant.
+func (m *Monitor) watching(f *Proc) bool {
+	if f.role != RoleFollower {
+		return false
+	}
+	if m.follower == f {
+		return true
+	}
+	for _, v := range m.variants {
+		if v == f {
+			return true
+		}
+	}
+	return false
 }
 
 // raiseStall records and dispatches a follower stall.
@@ -609,6 +715,7 @@ func (m *Monitor) PromoteNow(t *sim.Task) {
 	m.promoteRequested = false
 	if m.leader != nil {
 		m.leader.role = RoleFollower
+		m.leader.src = m.buf
 		// The demoted process starts validating at the new leader's
 		// first recorded event.
 		m.leader.globalNext = m.buf.NextSeq()
@@ -666,6 +773,7 @@ func (p *Proc) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 				// follower before processing this call (§3.2 t4).
 				p.m.promoteRequested = false
 				p.role = RoleFollower
+				p.src = p.m.buf
 				p.globalNext = p.m.buf.NextSeq()
 				p.m.buf.Put(t, ringbuf.Entry{Kind: ringbuf.KindPromote})
 				p.m.logf("%s demoted itself; awaiting new leader", p.name)
@@ -680,6 +788,10 @@ func (p *Proc) Invoke(t *sim.Task, call sysabi.Call) sysabi.Result {
 				continue
 			}
 			return res
+		case RoleRetired:
+			// Leadership moved to a promoted canary; this process is done —
+			// it parks until the controller reaps it.
+			p.parkForever(t)
 		default:
 			panic("mve: bad role")
 		}
@@ -750,11 +862,16 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 		p.trackRequest(t, call, res, &ev)
 	}
 	if p.m.FullPolicy == FullDiscard {
-		if !p.m.buf.TryAppend(ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev}) {
-			// The follower lags too far behind: degrade the update, not
-			// the service. The stall handler (controller) drops the
-			// follower; the leader proceeds with its result regardless.
-			if p.m.follower != nil && !p.m.buf.Closed() {
+		if !p.m.snk.TryAppend(ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev}) {
+			// A consumer lags too far behind: degrade the update, not
+			// the service. The stall handler (controller) drops the duo
+			// follower — or, in fleet mode, ejects the laggiest variant,
+			// whose pinned retention is what filled the ring. The leader
+			// proceeds with its result regardless.
+			if lag := p.m.laggiest(); len(p.m.variants) > 0 && lag != nil && !p.m.mbuf.Closed() {
+				p.m.raiseStall(Stall{Proc: lag.name, Reason: "buffer-full",
+					Pending: p.m.mbuf.Len(), Dropped: p.m.mbuf.Dropped})
+			} else if p.m.follower != nil && !p.m.buf.Closed() {
 				p.m.raiseStall(Stall{Proc: p.m.follower.name, Reason: "buffer-full",
 					Pending: p.m.buf.Len(), Dropped: p.m.buf.Dropped})
 			}
@@ -773,7 +890,7 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 	// blocked behind a hung follower — in which case the tail is dropped
 	// along with the follower.
 	p.recq = append(p.recq[:0], ringbuf.Entry{Kind: ringbuf.KindSyscall, Event: ev})
-	n, _ := p.m.buf.PutBatch(t, p.recq)
+	n, _ := p.m.snk.PutBatch(t, p.recq)
 	if n == 0 {
 		return res
 	}
@@ -783,13 +900,13 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 		if p.m.costs.LockstepSync > 0 {
 			t.Advance(p.m.costs.LockstepSync)
 		}
-		// Wait for the follower to drain this event (MUC/Mx model). The
+		// Wait for every consumer to drain this event (MUC/Mx model). The
 		// blocking wait replaces a yield-per-scheduler-round poll: the
 		// leader still resumes at the same virtual instant (the drain
 		// that empties the buffer, or teardown closing it), but without
 		// burning a dispatch per poll while the follower catches up.
-		if p.m.follower != nil {
-			p.m.buf.WaitDrained(t)
+		if p.m.follower != nil || len(p.m.variants) > 0 {
+			p.m.snk.WaitDrained(t)
 		}
 	}
 	return res
@@ -867,15 +984,34 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 			return sysabi.Result{}, true
 		}
 		d := Divergence{Proc: p.name, Seq: exp.Seq, Expected: exp, Got: call.Clone(), Reason: reason}
-		p.diverged = true
 		p.m.divergences = append(p.m.divergences, d)
 		p.m.logf("%s diverged: %s", p.name, d)
 		p.m.rec.Inc(obs.CMVEDivergences)
 		p.m.rec.Emit(obs.KindDivergence, p.name, d.String())
-		if p.m.OnDivergence != nil {
-			p.m.OnDivergence(d)
+		if p.cursor != nil {
+			// Fleet variant: count it, and let a canary inside its budget
+			// absorb the mismatch — it adopts the leader's recorded result
+			// below and keeps validating, so the gate can measure a
+			// divergence *rate* instead of dying on the first disagreement.
+			p.divergeCount++
+			if p == p.m.canary && p.divergeCount <= p.DivergenceBudget {
+				p.m.rec.Inc(obs.CFleetDivsTolerated)
+				p.m.logf("%s: divergence %d/%d absorbed by canary budget", p.name, p.divergeCount, p.DivergenceBudget)
+			} else {
+				p.diverged = true
+				v := p.m.failVariant(p, "divergence", &d)
+				if p.m.OnVerdict != nil {
+					p.m.OnVerdict(v)
+				}
+				p.parkForever(t)
+			}
+		} else {
+			p.diverged = true
+			if p.m.OnDivergence != nil {
+				p.m.OnDivergence(d)
+			}
+			p.parkForever(t)
 		}
-		p.parkForever(t)
 	}
 	if rec := p.m.rec; rec.SpansEnabled() && exp.Call.ReqID != 0 {
 		// Validation-lag component, and the end of the request's async
@@ -961,7 +1097,7 @@ func (p *Proc) fillExpected(t *sim.Task, tid int) bool {
 			}
 		}
 		p.pulling = true
-		p.drain = p.m.buf.DrainUpTo(t, p.drain[:0], want)
+		p.drain = p.src.DrainUpTo(t, p.drain[:0], want)
 		p.pulling = false
 		p.progress += int64(len(p.drain))
 		if len(p.drain) == 0 {
@@ -1019,7 +1155,7 @@ func (p *Proc) discardTail(t *sim.Task, tid int) {
 		// one-at-a-time loop would (consecutive non-blocking pulls never
 		// yield between entries).
 		p.pulling = true
-		p.drain = p.m.buf.DrainInto(t, p.drain[:0])
+		p.drain = p.src.DrainInto(t, p.drain[:0])
 		p.pulling = false
 		if len(p.drain) == 0 {
 			// Buffer closed underneath us: rollback/teardown won the race.
@@ -1041,6 +1177,10 @@ func (p *Proc) discardTail(t *sim.Task, tid int) {
 }
 
 func (p *Proc) becomeLeader() {
+	if p.cursor != nil {
+		p.becomeFleetLeader()
+		return
+	}
 	m := p.m
 	m.logf("%s promoted to leader", p.name)
 	m.rec.Inc(obs.CMVEPromotions)

@@ -30,6 +30,14 @@ const (
 	CMVEStalls      = "mve.stalls"
 	CMVEDivergences = "mve.divergences"
 
+	// MVE fleet mode (N-variant execution). Touched only when fleet
+	// variants are attached, so duo runs never export them and the
+	// golden duo artifacts stay byte-identical.
+	CFleetEjects        = "mve.fleet.ejects"                // variants quarantined by a minority verdict
+	CFleetAborts        = "mve.fleet.quorum_aborts"         // majority-failure fleet teardowns
+	CFleetDivsTolerated = "mve.fleet.divergences_tolerated" // canary divergences absorbed by the budget
+	GFleetVariants      = "mve.fleet.variants"              // currently attached variants
+
 	// DSL rewrite engine (per-rule attribution lives in the trace).
 	CRuleHits = "dsl.rule_hits"
 
@@ -39,6 +47,12 @@ const (
 	CCoreCommits     = "core.commits"
 	CCoreRollbacks   = "core.rollbacks"
 	CCoreRetries     = "core.retries"
+
+	// Fleet controller lifecycle (fleet mode only, like the mve.fleet
+	// family above).
+	CFleetRespawns    = "core.fleet.respawns"    // ejected variants replaced at a leader barrier
+	CCanaryPromotions = "core.canary.promotions" // canary gates passed -> fleet promoted
+	CCanaryRollbacks  = "core.canary.rollbacks"  // canary gates failed -> canary rolled back
 
 	// Chaos layer.
 	CChaosFired = "chaos.fired"
@@ -69,14 +83,16 @@ var CounterNames = []string{
 	CSyscallsSingle, CSyscallsLeader, CSyscallsFollower,
 	CRingPut, CRingGet, CRingBlocked, CRingDropped, CRingResets,
 	CMVERecorded, CMVEReplayed, CMVEPromotions, CMVEStalls, CMVEDivergences,
+	CFleetEjects, CFleetAborts, CFleetDivsTolerated,
 	CRuleHits,
 	CCoreTransitions, CCoreUpdates, CCoreCommits, CCoreRollbacks, CCoreRetries,
+	CFleetRespawns, CCanaryPromotions, CCanaryRollbacks,
 	CChaosFired,
 	CReqTracked, CDSUUpdatePoints, CVOSNetBytes, CVOSFSBytes,
 }
 
 // GaugeNames is the complete gauge vocabulary.
-var GaugeNames = []string{GRingOccupancy, GRingHighWater, GVOSOpenFDs}
+var GaugeNames = []string{GRingOccupancy, GRingHighWater, GFleetVariants, GVOSOpenFDs}
 
 // HistogramNames is the complete histogram vocabulary.
 var HistogramNames = []string{

@@ -55,6 +55,7 @@ const (
 	KindStage                   // controller stage transition
 	KindRetry                   // controller scheduled a retry (with backoff)
 	KindFault                   // chaos injection fired
+	KindVerdict                 // fleet quorum verdict (eject/abort/canary-rollback)
 )
 
 var kindNames = map[Kind]string{
@@ -72,6 +73,7 @@ var kindNames = map[Kind]string{
 	KindStage:       "stage",
 	KindRetry:       "retry",
 	KindFault:       "fault",
+	KindVerdict:     "verdict",
 }
 
 // String returns the kind's timeline label.
