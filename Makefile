@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check metrics-smoke perf-smoke timeline-smoke nvariant-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-ring experiments examples clean
+.PHONY: all build test vet fmt-check check metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-all bench-ring experiments examples clean
 
 all: check
 
@@ -12,19 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Source-formatting gate: gofmt must have nothing to rewrite.
+fmt-check:
+	@out="$$(gofmt -l cmd internal examples)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Tier-1 verification: vet plus the full suite under the race detector,
 # which exercises the watchdog/monitor task interplay for data races,
 # then the benchtool metrics smoke run.
-check: vet
+check: vet fmt-check
 	$(GO) test -race ./...
 	$(GO) test -bench . -benchtime=1x ./internal/ringbuf/...
 	$(MAKE) metrics-smoke
 	$(MAKE) perf-smoke
 	$(MAKE) timeline-smoke
 	$(MAKE) nvariant-smoke
+	$(MAKE) slo-smoke
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -69,6 +75,17 @@ nvariant-smoke:
 		{ echo "BENCH_nvariant.json is stale; run 'make bench-nvariant' to regenerate"; rm -f .bench_nvariant_smoke.json; exit 1; }
 	rm -f .bench_nvariant_smoke.json
 
+# Same contract for the availability ledger: the three SLO scenarios
+# (update-under-load, fault-and-recover, canary-rollback) run in
+# deterministic virtual time and must reproduce BENCH_slo.json
+# byte-for-byte (regenerate with `make bench-slo`; see
+# docs/OBSERVABILITY.md for how to read the ledger).
+slo-smoke:
+	$(GO) run ./cmd/benchtool -experiment slo -json .bench_slo_smoke.json >/dev/null
+	diff -u BENCH_slo.json .bench_slo_smoke.json || \
+		{ echo "BENCH_slo.json is stale; run 'make bench-slo' to regenerate"; rm -f .bench_slo_smoke.json; exit 1; }
+	rm -f .bench_slo_smoke.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
@@ -84,6 +101,13 @@ bench-timeline:
 # Regenerate the committed N-variant fleet baseline.
 bench-nvariant:
 	$(GO) run ./cmd/benchtool -experiment nvariant -json BENCH_nvariant.json >/dev/null
+
+# Regenerate the committed availability-ledger baseline.
+bench-slo:
+	$(GO) run ./cmd/benchtool -experiment slo -json BENCH_slo.json >/dev/null
+
+# Regenerate every committed BENCH_*.json artifact in one sweep.
+bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo
 
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:

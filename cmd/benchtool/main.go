@@ -11,7 +11,11 @@
 //	benchtool -experiment perf     # perf-trajectory baseline (docs/PERFORMANCE.md)
 //	benchtool -experiment timeline # span tracing + request latency attribution
 //	benchtool -experiment nvariant # N-variant fleet: quorum verdicts + canary gates
+//	benchtool -experiment slo      # availability ledger: SLO windows, MTTR, pause attribution
 //	benchtool -experiment all      # everything
+//
+// benchtool -list enumerates the experiments with one-line
+// descriptions.
 //
 // The metrics experiment emits a machine-readable report; -json writes
 // it to a file and -validate checks an existing report against the
@@ -48,13 +52,21 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|all")
+	list := flag.Bool("list", false, "list the experiments with one-line descriptions and exit")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
 	perfettoOut := flag.String("perfetto", "", "timeline: write the Chrome trace_event export to this file")
 	validate := flag.String("validate", "", "validate a metrics-report JSON file against the golden schema and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)
@@ -200,7 +212,43 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.NVariantSchemaID)
 		}
 	}
+	if run("slo") {
+		report, err := bench.RunSLOReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatSLOReport(report))
+		if *jsonOut != "" && *experiment == "slo" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.SLOSchemaID)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())
+}
+
+// experiments is the -list catalogue; keep entries in the order the
+// main dispatch runs them.
+var experiments = []struct{ name, desc string }{
+	{"table1", "Vsftpd rewrite-rule counts (paper Table 1)"},
+	{"table2", "steady-state throughput and MVE overhead (paper Table 2)"},
+	{"fig6", "throughput timeline while updating (paper Figure 6)"},
+	{"fig7", "update pause vs ring-buffer size (paper Figure 7)"},
+	{"faults", "fault-tolerance runs: divergence, rollback, retry (paper 6.2)"},
+	{"chaos", "seeded fault-injection matrix across syscalls and kinds"},
+	{"rolling", "rolling-upgrade comparison vs MVEDSUA (paper 1.1 extension)"},
+	{"metrics", "flight-recorder export -> BENCH_metrics.json"},
+	{"perf", "perf-trajectory baseline -> BENCH_perf.json"},
+	{"timeline", "span tracing + request latency attribution -> BENCH_timeline.json"},
+	{"nvariant", "N-variant fleet: quorum verdicts + canary gates -> BENCH_nvariant.json"},
+	{"slo", "availability ledger: SLO windows, MTTR, pause attribution -> BENCH_slo.json"},
+	{"all", "every experiment above, in order"},
 }
 
 func fail(err error) {

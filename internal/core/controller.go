@@ -163,6 +163,7 @@ type Controller struct {
 
 	timeline []Event
 	rec      *obs.Recorder
+	health   *HealthEngine // follower-liveness rules behind the watchdog
 
 	// Open async spans (span mode only): the current stage's arc on the
 	// "controller" track, and the fork→promote update window.
@@ -201,6 +202,11 @@ func New(kernel *vos.Kernel, cfg Config) *Controller {
 	c.mon.SetRecorder(cfg.Recorder)
 	c.mon.Lockstep = cfg.Lockstep
 	c.mon.WatchdogDeadline = cfg.WatchdogDeadline
+	if cfg.WatchdogDeadline > 0 {
+		c.health = NewHealthEngine("core", c.rec,
+			[]HealthRule{FollowerLivenessRule(cfg.WatchdogDeadline)})
+		c.mon.StallJudge = c.health.StallJudge()
+	}
 	c.mon.FullPolicy = cfg.BufferFullPolicy
 	c.mon.OnDivergence = c.handleDivergence
 	c.mon.OnPromoted = c.handlePromoted
@@ -228,6 +234,10 @@ func (c *Controller) wrapDispatcher(role string, proc *mve.Proc) sysabi.Dispatch
 
 // Monitor exposes the underlying MVE monitor.
 func (c *Controller) Monitor() *mve.Monitor { return c.mon }
+
+// Health exposes the controller's health engine (nil when no watchdog
+// is armed). SLO scenarios enable verdict emission on it.
+func (c *Controller) Health() *HealthEngine { return c.health }
 
 // Recorder returns the attached flight recorder, or nil.
 func (c *Controller) Recorder() *obs.Recorder { return c.rec }

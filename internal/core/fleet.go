@@ -160,6 +160,8 @@ type FleetController struct {
 	rearming bool
 	gateGen  int // invalidates stale gate timers
 
+	health *HealthEngine // canary-gate + watchdog thresholds as rules
+
 	timeline []FleetEvent
 
 	// OnVerdict, if non-nil, observes every quorum verdict after the
@@ -188,6 +190,12 @@ func NewFleet(kernel *vos.Kernel, cfg FleetConfig) *FleetController {
 	fc.mon.SetRecorder(cfg.Recorder)
 	fc.mon.Lockstep = cfg.Lockstep
 	fc.mon.WatchdogDeadline = cfg.WatchdogDeadline
+	fc.health = NewHealthEngine("fleet", fc.rec, cfg.Canary.Rules())
+	if cfg.WatchdogDeadline > 0 {
+		watchdog := NewHealthEngine("fleet", fc.rec,
+			[]HealthRule{FollowerLivenessRule(cfg.WatchdogDeadline)})
+		fc.mon.StallJudge = watchdog.StallJudge()
+	}
 	fc.mon.FullPolicy = cfg.BufferFullPolicy
 	fc.mon.OnVerdict = fc.applyVerdict
 	fc.mon.OnStall = fc.handleStall
@@ -203,6 +211,10 @@ func NewFleet(kernel *vos.Kernel, cfg FleetConfig) *FleetController {
 
 // Monitor exposes the underlying MVE monitor.
 func (fc *FleetController) Monitor() *mve.Monitor { return fc.mon }
+
+// Health exposes the fleet's canary-gate health engine. SLO scenarios
+// enable verdict emission on it to capture the gate's verdict stream.
+func (fc *FleetController) Health() *HealthEngine { return fc.health }
 
 // Phase returns the current fleet lifecycle phase.
 func (fc *FleetController) Phase() FleetPhase { return fc.phase }
@@ -347,19 +359,19 @@ func (fc *FleetController) evaluateGate(gen int) {
 }
 
 // gateFailure returns a non-empty reason if the gate's thresholds are
-// violated at window close.
+// violated at window close. The thresholds live in the health engine
+// (CanaryGate.Rules); the validate-lag signal is only sampled when span
+// tracing is on, which keeps that check conditional exactly as before.
 func (fc *FleetController) gateFailure(divs, lag int) string {
-	g := fc.cfg.Canary
-	if divs > g.MaxDivergences {
-		return fmt.Sprintf("%d divergences exceed budget %d", divs, g.MaxDivergences)
+	sample := HealthSample{
+		SignalDivergences: float64(divs),
+		SignalRingLag:     float64(lag),
 	}
-	if g.MaxLag > 0 && lag > g.MaxLag {
-		return fmt.Sprintf("lag %d exceeds %d", lag, g.MaxLag)
+	if fc.cfg.Canary.MaxValidateLagP99 > 0 && fc.rec.SpansEnabled() {
+		sample[SignalValidateLagP99] = float64(fc.rec.Hist(obs.HReqValidateLag).Quantile(0.99))
 	}
-	if g.MaxValidateLagP99 > 0 && fc.rec.SpansEnabled() {
-		if p99 := fc.rec.Hist(obs.HReqValidateLag).Quantile(0.99); p99 > g.MaxValidateLagP99 {
-			return fmt.Sprintf("validate-lag p99 %v exceeds %v", p99, g.MaxValidateLagP99)
-		}
+	if v := fc.health.Evaluate("canary-gate", sample); v != nil {
+		return v.Reason
 	}
 	return ""
 }

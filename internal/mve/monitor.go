@@ -235,6 +235,15 @@ type Monitor struct {
 	// merely-slow follower is mistaken for a hung one.
 	WatchdogDeadline time.Duration
 
+	// StallJudge, when set, replaces the watchdog's built-in
+	// stalled >= deadline comparison: each poll tick passes the
+	// follower's no-progress age and pending-entry count to the judge,
+	// and a true verdict raises the Stall. The core controllers install
+	// a health-engine-backed judge here whose follower-liveness rule
+	// reproduces the built-in comparison exactly, so the two paths are
+	// behaviorally identical; a custom judge can substitute any policy.
+	StallJudge func(proc string, stalledFor time.Duration, pending int) bool
+
 	// OnStall is invoked when the watchdog declares a follower hung or
 	// the discard policy hits a full buffer. The handler decides what to
 	// do (MVEDSUA's controller rolls the update back); with no handler
@@ -456,6 +465,12 @@ type Proc struct {
 	roleSpanID   uint64
 	roleSpanName string
 
+	// scope is this proc's per-process registry (scope mode only —
+	// every use is gated on obs.Recorder.ScopesEnabled), mirroring the
+	// dispatch/replay/divergence counters so per-variant timelines and
+	// cross-scope merges are possible without touching the shared root.
+	scope *obs.Registry
+
 	// Syscalls counts calls dispatched through this proc.
 	Syscalls int
 }
@@ -640,12 +655,22 @@ func (m *Monitor) startWatchdog(f *Proc) {
 				lastAt = t.Now()
 				continue
 			}
-			if stalled := t.Now() - lastAt; stalled >= deadline {
+			if stalled := t.Now() - lastAt; m.judgeStall(f.name, stalled, f.src.Len(), deadline) {
 				m.raiseStall(Stall{Proc: f.name, Reason: "no-progress", Stalled: stalled, Pending: f.src.Len()})
 				return
 			}
 		}
 	})
+}
+
+// judgeStall decides whether a follower's no-progress age warrants a
+// stall: the installed StallJudge when present, the deadline compare
+// otherwise.
+func (m *Monitor) judgeStall(proc string, stalledFor time.Duration, pending int, deadline time.Duration) bool {
+	if m.StallJudge != nil {
+		return m.StallJudge(proc, stalledFor, pending)
+	}
+	return stalledFor >= deadline
 }
 
 // watching reports whether f is still a validating consumer this monitor
@@ -820,6 +845,19 @@ func (p *Proc) trackKernelState(call sysabi.Call, res sysabi.Result) {
 	}
 }
 
+// scoped returns this proc's per-process registry when scope mirroring
+// is on (nil otherwise — itself safe to record into). The registry is
+// created lazily under the scope "proc:<name>".
+func (p *Proc) scoped() *obs.Registry {
+	if !p.m.rec.ScopesEnabled() {
+		return nil
+	}
+	if p.scope == nil {
+		p.scope = p.m.rec.Child("proc:" + p.name)
+	}
+	return p.scope
+}
+
 func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
 	p.m.Stats.Intercepted++
 	if p.m.costs.Intercept > 0 {
@@ -830,6 +868,10 @@ func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
 		start := t.Now()
 		res := p.m.kernel.Invoke(t, call)
 		rec.Observe(obs.HSyscallSingle, t.Now()-start)
+		if sc := p.scoped(); sc != nil {
+			sc.Inc(obs.CSyscallsSingle)
+			sc.Observe(obs.HSyscallSingle, t.Now()-start)
+		}
 		rec.Emitf(obs.KindSyscall, p.name, "%s = %d/%v", call, res.Ret, res.Err)
 		p.trackKernelState(call, res)
 		if rec.SpansEnabled() {
@@ -853,6 +895,10 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 		rec.Inc(obs.CSyscallsLeader)
 		rec.Observe(obs.HSyscallLeader, t.Now()-start)
 		rec.Emitf(obs.KindSyscall, p.name, "%s = %d/%v", call, res.Ret, res.Err)
+		if sc := p.scoped(); sc != nil {
+			sc.Inc(obs.CSyscallsLeader)
+			sc.Observe(obs.HSyscallLeader, t.Now()-start)
+		}
 	}
 	p.trackKernelState(call, res)
 	ev := sysabi.Event{Call: call.Clone(), Result: res.Clone()}
@@ -956,6 +1002,10 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 			rec.Inc(obs.CMVEReplayed)
 			rec.Inc(obs.CSyscallsFollower)
 			rec.Emitf(obs.KindValidate, p.name, "#%d expect %s, got %s", exp.Seq, exp.Call, call)
+			if sc := p.scoped(); sc != nil {
+				sc.Inc(obs.CMVEReplayed)
+				sc.Inc(obs.CSyscallsFollower)
+			}
 		}
 		if g.idx >= len(g.events) {
 			p.expByTID[tid] = p.expByTID[tid][1:]
@@ -988,6 +1038,7 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 		p.m.logf("%s diverged: %s", p.name, d)
 		p.m.rec.Inc(obs.CMVEDivergences)
 		p.m.rec.Emit(obs.KindDivergence, p.name, d.String())
+		p.scoped().Inc(obs.CMVEDivergences)
 		if p.cursor != nil {
 			// Fleet variant: count it, and let a canary inside its budget
 			// absorb the mismatch — it adopts the leader's recorded result

@@ -74,6 +74,17 @@ const (
 	CVOSNetBytes = "vos.net.bytes" // bytes moved through stream sockets
 	CVOSFSBytes  = "vos.fs.bytes"  // bytes moved through the in-memory fs
 	GVOSOpenFDs  = "vos.open_fds"  // open descriptors after the last syscall
+
+	// SLO accounting (recorded only through SLOTracker, which the slo
+	// benchmark scenarios attach; default runs never touch them, so the
+	// golden artifacts are unchanged).
+	CSLORequestsOK   = "slo.requests.ok"     // client requests completed successfully
+	CSLORequestsFail = "slo.requests.fail"   // client requests that errored
+	HSLOLatency      = "slo.request.latency" // client-observed request latency
+
+	// Health engine (emitted only when a core.HealthEngine has verdict
+	// emission enabled — slo runs and opt-in demos).
+	CHealthVerdicts = "health.verdicts" // rule violations recorded as verdict milestones
 )
 
 // CounterNames is the complete counter vocabulary. The golden schema
@@ -89,6 +100,7 @@ var CounterNames = []string{
 	CFleetRespawns, CCanaryPromotions, CCanaryRollbacks,
 	CChaosFired,
 	CReqTracked, CDSUUpdatePoints, CVOSNetBytes, CVOSFSBytes,
+	CSLORequestsOK, CSLORequestsFail, CHealthVerdicts,
 }
 
 // GaugeNames is the complete gauge vocabulary.
@@ -99,4 +111,5 @@ var HistogramNames = []string{
 	HSyscallSingle, HSyscallLeader, HRingBlockWait,
 	HReqService, HReqRingWait, HReqValidateLag,
 	HDSUQuiesce, HDSUXform,
+	HSLOLatency,
 }

@@ -127,6 +127,17 @@ func BucketBound(i int) time.Duration {
 	return time.Microsecond << uint(i)
 }
 
+// bucketIndex returns the slot for one observation (histBuckets is the
+// overflow slot).
+func bucketIndex(d time.Duration) int {
+	for i := 0; i < histBuckets; i++ {
+		if d <= BucketBound(i) {
+			return i
+		}
+	}
+	return histBuckets
+}
+
 func (h *Histogram) observe(d time.Duration) {
 	if d < 0 {
 		d = 0
@@ -139,13 +150,7 @@ func (h *Histogram) observe(d time.Duration) {
 	if h.Count == 1 || d < h.Min {
 		h.Min = d
 	}
-	for i := 0; i < histBuckets; i++ {
-		if d <= BucketBound(i) {
-			h.Buckets[i]++
-			return
-		}
-	}
-	h.Buckets[histBuckets]++
+	h.Buckets[bucketIndex(d)]++
 }
 
 // Mean returns the average observation, or zero when empty.
@@ -165,22 +170,30 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil || h.Count == 0 {
 		return 0
 	}
+	return bucketQuantile(q, h.Count, h.Min, h.Max, h.Buckets[:])
+}
+
+// bucketQuantile is the shared interpolation behind Histogram.Quantile
+// and SeriesPoint.Quantile: linear interpolation inside the bucket
+// holding the q*count-th observation, clamped to the tracked [min,max]
+// extremes; the last slot is the overflow bucket and resolves to max.
+func bucketQuantile(q float64, count int64, min, max time.Duration, buckets []int64) time.Duration {
 	if q <= 0 {
-		return h.Min
+		return min
 	}
 	if q >= 1 {
-		return h.Max
+		return max
 	}
-	rank := q * float64(h.Count)
+	rank := q * float64(count)
 	var cum float64
-	for i := 0; i <= histBuckets; i++ {
-		n := float64(h.Buckets[i])
+	for i := 0; i < len(buckets); i++ {
+		n := float64(buckets[i])
 		if n == 0 {
 			continue
 		}
 		if cum+n >= rank {
-			if i == histBuckets {
-				return h.Max
+			if i == len(buckets)-1 {
+				return max
 			}
 			lo := time.Duration(0)
 			if i > 0 {
@@ -188,17 +201,17 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			}
 			hi := BucketBound(i)
 			v := lo + time.Duration((rank-cum)/n*float64(hi-lo))
-			if v < h.Min {
-				v = h.Min
+			if v < min {
+				v = min
 			}
-			if v > h.Max {
-				v = h.Max
+			if v > max {
+				v = max
 			}
 			return v
 		}
 		cum += n
 	}
-	return h.Max
+	return max
 }
 
 // Options sizes a Recorder.
@@ -221,9 +234,13 @@ const defaultSpanCap = 16384
 type Recorder struct {
 	now func() time.Duration
 
-	counters map[string]int64
-	gauges   map[string]int64
-	hists    map[string]*Histogram
+	// root holds the recorder's own metrics; the legacy
+	// Add/Observe/Counter methods delegate to it. children are the
+	// scoped registries created by Child, keyed by scope.
+	root     *Registry
+	children map[string]*Registry
+	scopesOn bool         // set by EnableScopes; gates scoped mirroring
+	win      *windowState // set by EnableWindows; shared by all scopes
 
 	hot      []Event // ring storage
 	hotCap   int
@@ -256,9 +273,7 @@ func New(now func() time.Duration, opts Options) *Recorder {
 	}
 	return &Recorder{
 		now:          now,
-		counters:     make(map[string]int64),
-		gauges:       make(map[string]int64),
-		hists:        make(map[string]*Histogram),
+		root:         newRegistry("", now, nil),
 		hot:          make([]Event, 0, opts.TraceCapacity),
 		hotCap:       opts.TraceCapacity,
 		milestoneCap: opts.MilestoneCapacity,
@@ -279,7 +294,7 @@ func (r *Recorder) Add(name string, delta int64) {
 	if r == nil {
 		return
 	}
-	r.counters[name] += delta
+	r.root.Add(name, delta)
 }
 
 // Inc increments counter name by one.
@@ -290,7 +305,7 @@ func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
 		return 0
 	}
-	return r.counters[name]
+	return r.root.Counter(name)
 }
 
 // SetGauge records the latest value of gauge name.
@@ -298,7 +313,7 @@ func (r *Recorder) SetGauge(name string, v int64) {
 	if r == nil {
 		return
 	}
-	r.gauges[name] = v
+	r.root.SetGauge(name, v)
 }
 
 // MaxGauge raises gauge name to v if v exceeds its current value
@@ -307,9 +322,7 @@ func (r *Recorder) MaxGauge(name string, v int64) {
 	if r == nil {
 		return
 	}
-	if cur, ok := r.gauges[name]; !ok || v > cur {
-		r.gauges[name] = v
-	}
+	r.root.MaxGauge(name, v)
 }
 
 // Gauge returns the current value of a gauge.
@@ -317,7 +330,7 @@ func (r *Recorder) Gauge(name string) int64 {
 	if r == nil {
 		return 0
 	}
-	return r.gauges[name]
+	return r.root.Gauge(name)
 }
 
 // Observe records one duration into histogram name.
@@ -325,12 +338,7 @@ func (r *Recorder) Observe(name string, d time.Duration) {
 	if r == nil {
 		return
 	}
-	h, ok := r.hists[name]
-	if !ok {
-		h = &Histogram{}
-		r.hists[name] = h
-	}
-	h.observe(d)
+	r.root.Observe(name, d)
 }
 
 // Hist returns the named histogram, or nil.
@@ -338,8 +346,75 @@ func (r *Recorder) Hist(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.hists[name]
+	return r.root.Hist(name)
 }
+
+// Root returns the recorder's own (unscoped) registry.
+func (r *Recorder) Root() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
+// TimeSeries returns the root registry's windowed series for name (nil
+// when windows are off or nothing was recorded).
+func (r *Recorder) TimeSeries(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	return r.root.TimeSeries(name)
+}
+
+// Child returns the scoped registry for scope, creating it on first
+// use. Children share the recorder's clock and window configuration but
+// hold their own metrics; aggregate with Registry.MergeInto. Nil-safe
+// (a nil recorder yields a nil registry, itself safe to record into).
+func (r *Recorder) Child(scope string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.children[scope]; ok {
+		return g
+	}
+	if r.children == nil {
+		r.children = make(map[string]*Registry)
+	}
+	g := newRegistry(scope, r.now, r.win)
+	r.children[scope] = g
+	return g
+}
+
+// Children returns the scoped registries sorted by scope name.
+func (r *Recorder) Children() []*Registry {
+	if r == nil || len(r.children) == 0 {
+		return nil
+	}
+	scopes := make([]string, 0, len(r.children))
+	for s := range r.children {
+		scopes = append(scopes, s)
+	}
+	sort.Strings(scopes)
+	out := make([]*Registry, 0, len(scopes))
+	for _, s := range scopes {
+		out = append(out, r.children[s])
+	}
+	return out
+}
+
+// EnableScopes turns on per-scope mirroring at instrumentation sites
+// that support it (mve per-process registries). Off by default so the
+// default pipelines do no extra map work and the golden artifacts are
+// recorded exactly as before.
+func (r *Recorder) EnableScopes() {
+	if r == nil {
+		return
+	}
+	r.scopesOn = true
+}
+
+// ScopesEnabled reports whether scoped mirroring is on.
+func (r *Recorder) ScopesEnabled() bool { return r != nil && r.scopesOn }
 
 // Emit appends a trace event stamped at the current virtual time.
 func (r *Recorder) Emit(kind Kind, actor, detail string) {
@@ -446,22 +521,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
-	for k, v := range r.counters {
-		s.Counters[k] = v
-	}
-	for k, v := range r.gauges {
-		s.Gauges[k] = v
-	}
-	for k, h := range r.hists {
-		s.Histograms[k] = HistogramSnapshot{
-			Count:   h.Count,
-			SumNS:   int64(h.Sum),
-			MaxNS:   int64(h.Max),
-			MinNS:   int64(h.Min),
-			MeanNS:  int64(h.Mean()),
-			Buckets: append([]int64(nil), h.Buckets[:]...),
-		}
-	}
+	r.root.snapshotInto(&s)
 	s.TraceDropped = r.dropped
 	s.MilestonesDropped = r.milestonesDropped
 	s.TraceLen = len(r.milestones) + len(r.hot)
@@ -496,19 +556,19 @@ func (r *Recorder) FormatMetrics() string {
 			fmt.Fprintf(&b, "  %-32s %12d\n", k, m[k])
 		}
 	}
-	writeSorted("counters", r.counters)
-	writeSorted("gauges", r.gauges)
-	if len(r.hists) > 0 {
+	writeSorted("counters", r.root.counters)
+	writeSorted("gauges", r.root.gauges)
+	if len(r.root.hists) > 0 {
 		b.WriteString("histograms:\n")
-		keys := make([]string, 0, len(r.hists))
-		for k := range r.hists {
+		keys := make([]string, 0, len(r.root.hists))
+		for k := range r.root.hists {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			h := r.hists[k]
-			fmt.Fprintf(&b, "  %-32s n=%d mean=%v min=%v p50=%v p99=%v max=%v\n",
-				k, h.Count, h.Mean(), h.Min, h.Quantile(0.50), h.Quantile(0.99), h.Max)
+			h := r.root.hists[k]
+			fmt.Fprintf(&b, "  %-32s n=%d mean=%v min=%v p50=%v p90=%v p99=%v max=%v\n",
+				k, h.Count, h.Mean(), h.Min, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max)
 		}
 	}
 	if r.dropped > 0 {

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Registry is one scope's metrics store: counters, gauges, histograms,
+// and (once windows are enabled) the per-metric time series derived
+// from them. The Recorder owns a root registry that all the existing
+// Recorder.Add/Observe instrumentation feeds; Child creates named
+// scoped registries (per process, per variant) that aggregate back into
+// a parent via MergeInto.
+//
+// MergeInto is deliberately built from commutative, associative
+// per-metric operations (counters sum, gauges take the max, histograms
+// add counts and widen extremes, series merge per window index), so
+// merging K scoped registries into an empty destination yields the same
+// result in any merge order — the property the sharded-runtime roadmap
+// item depends on, and one a test pins with a seeded shuffle.
+//
+// Like the Recorder, every method is safe on a nil receiver, so
+// instrumentation sites can hold a nil *Registry when scoping is off.
+type Registry struct {
+	scope    string
+	now      func() time.Duration
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*Histogram
+	win      *windowState
+	series   map[string]*Series
+}
+
+func newRegistry(scope string, now func() time.Duration, win *windowState) *Registry {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Registry{
+		scope:    scope,
+		now:      now,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+		hists:    make(map[string]*Histogram),
+		win:      win,
+		series:   make(map[string]*Series),
+	}
+}
+
+// NewRegistry builds a standalone registry (no recorder, no windows) —
+// handy as a merge destination for aggregation across scopes.
+func NewRegistry(scope string) *Registry {
+	return newRegistry(scope, nil, nil)
+}
+
+// Scope returns the registry's scope label ("" for a recorder root).
+func (g *Registry) Scope() string {
+	if g == nil {
+		return ""
+	}
+	return g.scope
+}
+
+// Add increments counter name by delta.
+func (g *Registry) Add(name string, delta int64) {
+	if g == nil {
+		return
+	}
+	g.counters[name] += delta
+	if g.win != nil {
+		idx := g.win.advance(g.now())
+		g.seriesFor(name, SeriesCounter).add(idx, delta)
+	}
+}
+
+// Inc increments counter name by one.
+func (g *Registry) Inc(name string) { g.Add(name, 1) }
+
+// Counter returns the current value of a counter.
+func (g *Registry) Counter(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.counters[name]
+}
+
+// SetGauge records the latest value of gauge name.
+func (g *Registry) SetGauge(name string, v int64) {
+	if g == nil {
+		return
+	}
+	g.gauges[name] = v
+}
+
+// MaxGauge raises gauge name to v if v exceeds its current value.
+func (g *Registry) MaxGauge(name string, v int64) {
+	if g == nil {
+		return
+	}
+	if cur, ok := g.gauges[name]; !ok || v > cur {
+		g.gauges[name] = v
+	}
+}
+
+// Gauge returns the current value of a gauge.
+func (g *Registry) Gauge(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.gauges[name]
+}
+
+// Observe records one duration into histogram name.
+func (g *Registry) Observe(name string, d time.Duration) {
+	if g == nil {
+		return
+	}
+	h, ok := g.hists[name]
+	if !ok {
+		h = &Histogram{}
+		g.hists[name] = h
+	}
+	h.observe(d)
+	if g.win != nil {
+		idx := g.win.advance(g.now())
+		g.seriesFor(name, SeriesHistogram).observe(idx, d)
+	}
+}
+
+// Hist returns the named histogram, or nil.
+func (g *Registry) Hist(name string) *Histogram {
+	if g == nil {
+		return nil
+	}
+	return g.hists[name]
+}
+
+// TimeSeries returns the windowed series derived from counter or
+// histogram name, or nil when windows are off or nothing was recorded.
+func (g *Registry) TimeSeries(name string) *Series {
+	if g == nil {
+		return nil
+	}
+	return g.series[name]
+}
+
+// SeriesNames returns the names with a recorded series, sorted.
+func (g *Registry) SeriesNames() []string {
+	if g == nil {
+		return nil
+	}
+	names := make([]string, 0, len(g.series))
+	for k := range g.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (g *Registry) seriesFor(name string, kind SeriesKind) *Series {
+	s, ok := g.series[name]
+	if !ok {
+		s = &Series{Name: name, Kind: kind, width: g.win.width, cap: g.win.retention}
+		g.series[name] = s
+	}
+	return s
+}
+
+// MergeInto folds this registry's contents into dst. Counters sum,
+// gauges keep the maximum, histograms combine counts/sums/extremes and
+// add buckets elementwise, and series merge per window index. All
+// operations are commutative and associative, so the result is
+// independent of merge order. The source is left unchanged.
+func (g *Registry) MergeInto(dst *Registry) {
+	if g == nil || dst == nil || g == dst {
+		return
+	}
+	for k, v := range g.counters {
+		dst.counters[k] += v
+	}
+	for k, v := range g.gauges {
+		if cur, ok := dst.gauges[k]; !ok || v > cur {
+			dst.gauges[k] = v
+		}
+	}
+	for k, h := range g.hists {
+		dh, ok := dst.hists[k]
+		if !ok {
+			dh = &Histogram{}
+			dst.hists[k] = dh
+		}
+		dh.merge(h)
+	}
+	for k, s := range g.series {
+		ds, ok := dst.series[k]
+		if !ok {
+			ds = &Series{Name: s.Name, Kind: s.Kind, width: s.width, cap: s.cap}
+			dst.series[k] = ds
+		}
+		ds.merge(s)
+	}
+}
+
+// merge folds src into h. Extremes widen before counts change so the
+// empty-destination case adopts src.Min rather than zero.
+func (h *Histogram) merge(src *Histogram) {
+	if src == nil || src.Count == 0 {
+		return
+	}
+	if h.Count == 0 || src.Min < h.Min {
+		h.Min = src.Min
+	}
+	if src.Max > h.Max {
+		h.Max = src.Max
+	}
+	h.Count += src.Count
+	h.Sum += src.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += src.Buckets[i]
+	}
+}
+
+func (g *Registry) snapshotInto(s *Snapshot) {
+	if g == nil {
+		return
+	}
+	for k, v := range g.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range g.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range g.hists {
+		s.Histograms[k] = HistogramSnapshot{
+			Count:   h.Count,
+			SumNS:   int64(h.Sum),
+			MaxNS:   int64(h.Max),
+			MinNS:   int64(h.Min),
+			MeanNS:  int64(h.Mean()),
+			Buckets: append([]int64(nil), h.Buckets[:]...),
+		}
+	}
+}

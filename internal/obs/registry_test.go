@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// requireRegistriesEqual compares two registries over the given metric
+// names: counters, gauges, histogram aggregates (including interpolated
+// quantiles) and windowed series points.
+func requireRegistriesEqual(t *testing.T, want, got *Registry, counters, gauges, hists []string) {
+	t.Helper()
+	for _, name := range counters {
+		if w, g := want.Counter(name), got.Counter(name); w != g {
+			t.Fatalf("counter %q: %d vs %d", name, w, g)
+		}
+	}
+	for _, name := range gauges {
+		if w, g := want.Gauge(name), got.Gauge(name); w != g {
+			t.Fatalf("gauge %q: %d vs %d", name, w, g)
+		}
+	}
+	for _, name := range hists {
+		w, g := want.Hist(name), got.Hist(name)
+		if (w == nil) != (g == nil) {
+			t.Fatalf("histogram %q: presence mismatch (%v vs %v)", name, w, g)
+		}
+		if w == nil {
+			continue
+		}
+		if !reflect.DeepEqual(*w, *g) {
+			t.Fatalf("histogram %q: %+v vs %+v", name, *w, *g)
+		}
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99} {
+			if wq, gq := w.Quantile(q), g.Quantile(q); wq != gq {
+				t.Fatalf("histogram %q q=%v: %v vs %v", name, q, wq, gq)
+			}
+		}
+	}
+	if w, g := want.SeriesNames(), got.SeriesNames(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("series names: %v vs %v", w, g)
+	}
+	for _, name := range want.SeriesNames() {
+		w, g := want.TimeSeries(name).Points(), got.TimeSeries(name).Points()
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("series %q points: %+v vs %+v", name, w, g)
+		}
+	}
+}
+
+// TestMergeOrderInvarianceSeeded is the merge-semantics property test:
+// a seeded random workload lands on K scoped registries, and MergeInto
+// must produce identical aggregates regardless of merge order. With
+// K=1 the merge must be the identity.
+func TestMergeOrderInvarianceSeeded(t *testing.T) {
+	const K = 4
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	clock := &manualClock{}
+	r := New(clock.now, Options{})
+	r.EnableScopes()
+	r.EnableWindows(time.Millisecond)
+
+	counters := []string{"c.a", "c.b"}
+	gauges := []string{"g.max"}
+	hists := []string{"h.a", "h.b"}
+	children := make([]*Registry, K)
+	for i := range children {
+		children[i] = r.Child(fmt.Sprintf("child%d", i))
+	}
+	for op := 0; op < 2000; op++ {
+		clock.t += time.Duration(rng.Intn(200)) * time.Microsecond
+		g := children[rng.Intn(K)]
+		switch rng.Intn(4) {
+		case 0:
+			g.Add(counters[rng.Intn(len(counters))], int64(rng.Intn(5)+1))
+		case 1:
+			g.Inc(counters[rng.Intn(len(counters))])
+		case 2:
+			g.MaxGauge(gauges[0], int64(rng.Intn(1000)))
+		case 3:
+			g.Observe(hists[rng.Intn(len(hists))], time.Duration(rng.Intn(5_000_000)))
+		}
+	}
+
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	merged := make([]*Registry, len(perms))
+	for pi, perm := range perms {
+		dst := NewRegistry("merged")
+		for _, i := range perm {
+			children[i].MergeInto(dst)
+		}
+		merged[pi] = dst
+	}
+	for i := 1; i < len(merged); i++ {
+		requireRegistriesEqual(t, merged[0], merged[i], counters, gauges, hists)
+	}
+
+	// K=1: merging a single registry into an empty one is the identity.
+	solo := NewRegistry("solo")
+	children[0].MergeInto(solo)
+	requireRegistriesEqual(t, children[0], solo, counters, gauges, hists)
+}
+
+// TestMergedHistogramQuantileClamps is the satellite regression for
+// Histogram.Quantile on a merged histogram: two registries with
+// disjoint latency ranges merge into one whose interpolated quantiles
+// must stay inside the merged [Min, Max] envelope and be monotone.
+func TestMergedHistogramQuantileClamps(t *testing.T) {
+	fast := NewRegistry("fast")
+	slow := NewRegistry("slow")
+	for i := 0; i < 40; i++ {
+		fast.Observe("h", 100*time.Microsecond+time.Duration(i)*time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe("h", 9*time.Millisecond+time.Duration(i)*100*time.Microsecond)
+	}
+	dst := NewRegistry("merged")
+	fast.MergeInto(dst)
+	slow.MergeInto(dst)
+	h := dst.Hist("h")
+	if h == nil {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count != 50 {
+		t.Fatalf("merged count = %d, want 50", h.Count)
+	}
+	if h.Min != 100*time.Microsecond || h.Max != 9*time.Millisecond+900*time.Microsecond {
+		t.Fatalf("merged extremes = [%v, %v]", h.Min, h.Max)
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < h.Min || v > h.Max {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, h.Min, h.Max)
+		}
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v not monotone (prev %v)", q, v, prev)
+		}
+		prev = v
+	}
+	// p90 must land in the slow mode's range: 45th of 50 observations.
+	if p90 := h.Quantile(0.9); p90 < 9*time.Millisecond {
+		t.Fatalf("merged p90 = %v, want >= 9ms (slow mode)", p90)
+	}
+}
+
+// TestFormatMetricsIncludesP90 pins the p90 column added to the
+// histogram listing.
+func TestFormatMetricsIncludesP90(t *testing.T) {
+	r := New(nil, Options{})
+	for i := 1; i <= 100; i++ {
+		r.Observe("h", time.Duration(i)*time.Millisecond)
+	}
+	out := r.FormatMetrics()
+	if !strings.Contains(out, "p90=") {
+		t.Fatalf("FormatMetrics missing p90 column:\n%s", out)
+	}
+}
+
+// TestScopedRegistries covers child creation, scope listing and the
+// root's independence from scoped recording.
+func TestScopedRegistries(t *testing.T) {
+	r := New(nil, Options{})
+	if r.ScopesEnabled() {
+		t.Fatal("scopes on by default")
+	}
+	r.EnableScopes()
+	b := r.Child("proc:b")
+	a := r.Child("proc:a")
+	if r.Child("proc:a") != a {
+		t.Fatal("Child not idempotent")
+	}
+	a.Inc("c")
+	b.Add("c", 2)
+	r.Inc("c") // root is separate
+	kids := r.Children()
+	if len(kids) != 2 || kids[0].Scope() != "proc:a" || kids[1].Scope() != "proc:b" {
+		t.Fatalf("Children() = %v", kids)
+	}
+	if a.Counter("c") != 1 || b.Counter("c") != 2 || r.Counter("c") != 1 {
+		t.Fatalf("scoped counters leaked: a=%d b=%d root=%d", a.Counter("c"), b.Counter("c"), r.Counter("c"))
+	}
+}
+
+// TestWindowedSeries covers bucketing, empty-window gaps, close
+// callbacks and retention eviction.
+func TestWindowedSeries(t *testing.T) {
+	clock := &manualClock{}
+	r := New(clock.now, Options{})
+	r.EnableWindows(time.Millisecond)
+	if !r.WindowsEnabled() || r.WindowWidth() != time.Millisecond {
+		t.Fatal("windows not enabled at requested width")
+	}
+	var closed []int64
+	r.OnWindowClose(func(ws WindowSpan) {
+		closed = append(closed, ws.Index)
+		if ws.Start != time.Duration(ws.Index)*time.Millisecond || ws.End != ws.Start+time.Millisecond {
+			t.Fatalf("window span %+v inconsistent", ws)
+		}
+	})
+
+	clock.t = 100 * time.Microsecond
+	r.Add("c", 1)
+	clock.t = 1500 * time.Microsecond
+	r.Add("c", 2)
+	clock.t = 3200 * time.Microsecond
+	r.Add("c", 3)
+	r.Observe("h", 250*time.Microsecond)
+	clock.t = 5100 * time.Microsecond
+	r.CloseWindows()
+
+	pts := r.TimeSeries("c").Points()
+	want := []struct{ win, count, sum int64 }{{0, 1, 1}, {1, 1, 2}, {3, 1, 3}}
+	if len(pts) != len(want) {
+		t.Fatalf("series points = %+v, want %d windows", pts, len(want))
+	}
+	for i, w := range want {
+		if pts[i].Window != w.win || pts[i].Count != w.count || pts[i].Sum != w.sum {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], w)
+		}
+	}
+	hp := r.TimeSeries("h").PointAt(3)
+	if hp == nil || hp.Count != 1 || hp.Min != 250*time.Microsecond || hp.Max != 250*time.Microsecond {
+		t.Fatalf("histogram point = %+v", hp)
+	}
+	if q := hp.Quantile(0.5); q < hp.Min || q > hp.Max {
+		t.Fatalf("windowed quantile %v outside [%v, %v]", q, hp.Min, hp.Max)
+	}
+	if wantClosed := []int64{0, 1, 2, 3, 4}; !reflect.DeepEqual(closed, wantClosed) {
+		t.Fatalf("closed windows = %v, want %v", closed, wantClosed)
+	}
+}
+
+// TestSeriesRetentionEviction pins the bounded-retention contract:
+// older windows are evicted once the per-series cap fills, and the
+// eviction is counted.
+func TestSeriesRetentionEviction(t *testing.T) {
+	clock := &manualClock{}
+	r := New(clock.now, Options{})
+	r.EnableWindows(time.Millisecond)
+	const windows = defaultSeriesRetention + 5
+	for i := 0; i < windows; i++ {
+		clock.t = time.Duration(i)*time.Millisecond + 10*time.Microsecond
+		r.Add("c", 1)
+	}
+	s := r.TimeSeries("c")
+	if s.Len() != defaultSeriesRetention {
+		t.Fatalf("retained = %d, want %d", s.Len(), defaultSeriesRetention)
+	}
+	if s.Dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", s.Dropped)
+	}
+	pts := s.Points()
+	if pts[0].Window != 5 || pts[len(pts)-1].Window != windows-1 {
+		t.Fatalf("retained range [%d, %d], want [5, %d]", pts[0].Window, pts[len(pts)-1].Window, windows-1)
+	}
+}

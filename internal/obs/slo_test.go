@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloScript drives a hand-written availability story through a tracker:
+//
+//	t=1..5ms   healthy requests every 1ms
+//	t=6ms      injected fault milestone
+//	t=5..15ms  gap (downtime, cause fault)
+//	t=15ms     recovery request (slow: 3ms latency, over budget)
+//	t=16..21ms healthy requests
+//	t=20ms     stage leaves single-leader (update opens)
+//	t=21..28ms gap (downtime, cause update)
+//	t=28,29ms  healthy requests; stage returns to single-leader
+func sloScript(t *testing.T) (*manualClock, *SLOTracker, *Recorder) {
+	t.Helper()
+	clock := &manualClock{}
+	r := New(clock.now, Options{})
+	tr := NewSLOTracker(r, SLOOptions{
+		Window:           10 * time.Millisecond,
+		StallThreshold:   2 * time.Millisecond,
+		LatencyBudgetP99: time.Millisecond,
+		AttributionSlack: time.Millisecond,
+	})
+	for ms := 1; ms <= 5; ms++ {
+		clock.t = time.Duration(ms) * time.Millisecond
+		tr.Request(true, 100*time.Microsecond)
+	}
+	clock.t = 6 * time.Millisecond
+	r.Emit(KindFault, "follower", "injected stall")
+	clock.t = 15 * time.Millisecond
+	tr.Request(true, 3*time.Millisecond)
+	for ms := 16; ms <= 21; ms++ {
+		clock.t = time.Duration(ms) * time.Millisecond
+		tr.Request(true, 100*time.Microsecond)
+	}
+	clock.t = 20 * time.Millisecond
+	r.Emit(KindStage, "outdated-leader", "update started")
+	clock.t = 28 * time.Millisecond
+	tr.Request(true, 100*time.Microsecond)
+	clock.t = 29 * time.Millisecond
+	r.Emit(KindStage, "single-leader", "update rolled back")
+	tr.Request(true, 100*time.Microsecond)
+	return clock, tr, r
+}
+
+func TestSLODowntimeDetectionAndAttribution(t *testing.T) {
+	_, tr, _ := sloScript(t)
+	rep := tr.Report()
+
+	if rep.Requests != 14 || rep.Failed != 0 {
+		t.Fatalf("requests = %d failed = %d, want 14/0", rep.Requests, rep.Failed)
+	}
+	if len(rep.Downtime) != 2 {
+		t.Fatalf("downtime windows = %+v, want 2", rep.Downtime)
+	}
+	first, second := rep.Downtime[0], rep.Downtime[1]
+	if first.StartNS != int64(5*time.Millisecond) || first.EndNS != int64(15*time.Millisecond) {
+		t.Fatalf("first window = %+v", first)
+	}
+	if first.Cause != "fault" {
+		t.Fatalf("first cause = %q, want fault", first.Cause)
+	}
+	if second.StartNS != int64(21*time.Millisecond) || second.EndNS != int64(28*time.Millisecond) {
+		t.Fatalf("second window = %+v", second)
+	}
+	if second.Cause != "update" {
+		t.Fatalf("second cause = %q, want update", second.Cause)
+	}
+
+	wantDown := 10*time.Millisecond + 7*time.Millisecond
+	if rep.DowntimeNS != int64(wantDown) {
+		t.Fatalf("downtime = %v, want %v", time.Duration(rep.DowntimeNS), wantDown)
+	}
+	if rep.LongestPauseNS != int64(10*time.Millisecond) {
+		t.Fatalf("longest = %v, want 10ms", time.Duration(rep.LongestPauseNS))
+	}
+	if rep.MTTRNS != int64(wantDown)/2 {
+		t.Fatalf("MTTR = %v, want %v", time.Duration(rep.MTTRNS), wantDown/2)
+	}
+	// Span is tracker start (0) to report time (29ms).
+	if rep.SpanNS != int64(29*time.Millisecond) {
+		t.Fatalf("span = %v", time.Duration(rep.SpanNS))
+	}
+	wantAvail := 100 * (1 - float64(wantDown)/float64(29*time.Millisecond))
+	if diff := rep.AvailabilityPct - wantAvail; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("availability = %v, want %v", rep.AvailabilityPct, wantAvail)
+	}
+	// Fault at 6ms, next success at 15ms.
+	if rep.FaultRecoveryNS != int64(9*time.Millisecond) {
+		t.Fatalf("fault recovery = %v, want 9ms", time.Duration(rep.FaultRecoveryNS))
+	}
+}
+
+func TestSLOTimelineAndBudgetBurn(t *testing.T) {
+	_, tr, _ := sloScript(t)
+	rep := tr.Report()
+
+	// Completions land in windows 0 (1..5ms), 1 (15..19ms) and 2 (20..29ms).
+	if rep.WindowsTotal != 3 {
+		t.Fatalf("timeline = %+v, want 3 windows", rep.Timeline)
+	}
+	byWin := map[int64]SLOWindowPoint{}
+	for _, p := range rep.Timeline {
+		byWin[p.Window] = p
+	}
+	if p := byWin[0]; p.OK != 5 || p.Fail != 0 || p.SuccessRate != 1 || p.OverBudget {
+		t.Fatalf("window 0 = %+v", p)
+	}
+	// Window 1 contains the 3ms recovery latency: p99 over the 1ms budget.
+	if p := byWin[1]; !p.OverBudget || p.P99NS < int64(time.Millisecond) {
+		t.Fatalf("window 1 = %+v, want over budget", p)
+	}
+	if rep.WindowsOver != 1 {
+		t.Fatalf("windows over = %d, want 1", rep.WindowsOver)
+	}
+	wantBurn := 100.0 / 3.0
+	if diff := rep.BudgetBurnPct - wantBurn; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("burn = %v, want %v", rep.BudgetBurnPct, wantBurn)
+	}
+}
+
+// TestSLOAttributionSlack pins the slack semantics: a fault that fired
+// shortly before the gap opened still explains it, but one further back
+// does not.
+func TestSLOAttributionSlack(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		faultAt   time.Duration
+		wantCause string
+	}{
+		{"fault-within-slack", 4200 * time.Microsecond, "fault"},
+		{"fault-too-early", 3500 * time.Microsecond, "unattributed"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := &manualClock{}
+			r := New(clock.now, Options{})
+			tr := NewSLOTracker(r, SLOOptions{
+				Window:           10 * time.Millisecond,
+				StallThreshold:   2 * time.Millisecond,
+				AttributionSlack: time.Millisecond,
+			})
+			clock.t = tc.faultAt
+			r.Emit(KindFault, "follower", "injected stall")
+			clock.t = 5 * time.Millisecond
+			tr.Request(true, 100*time.Microsecond)
+			clock.t = 12 * time.Millisecond
+			tr.Request(true, 100*time.Microsecond)
+			rep := tr.Report()
+			// Two gaps: lead-in 0->5ms (fault inside) and 5->12ms.
+			if len(rep.Downtime) != 2 {
+				t.Fatalf("downtime = %+v, want 2 windows", rep.Downtime)
+			}
+			if got := rep.Downtime[1].Cause; got != tc.wantCause {
+				t.Fatalf("cause = %q, want %q", got, tc.wantCause)
+			}
+		})
+	}
+}
+
+// TestSLOXformSpanAttribution checks that a dsu xform span explains a
+// gap even without stage milestones (the parallel-transformation path).
+func TestSLOXformSpanAttribution(t *testing.T) {
+	clock := &manualClock{}
+	r := New(clock.now, Options{})
+	r.EnableSpans()
+	tr := NewSLOTracker(r, SLOOptions{
+		Window:         10 * time.Millisecond,
+		StallThreshold: 2 * time.Millisecond,
+	})
+	clock.t = time.Millisecond
+	tr.Request(true, 100*time.Microsecond)
+	clock.t = 2 * time.Millisecond
+	r.BeginSpan("dsu:proc1", "xform:kvstore-2.0.1", "state transformation")
+	clock.t = 9 * time.Millisecond
+	r.EndSpan("dsu:proc1", "xform:kvstore-2.0.1")
+	clock.t = 10 * time.Millisecond
+	tr.Request(true, 100*time.Microsecond)
+	rep := tr.Report()
+	if len(rep.Downtime) != 1 {
+		t.Fatalf("downtime = %+v, want 1 window", rep.Downtime)
+	}
+	if rep.Downtime[0].Cause != "update" {
+		t.Fatalf("cause = %q, want update (xform span)", rep.Downtime[0].Cause)
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Request(true, time.Millisecond)
+	if rep := tr.Report(); rep.Requests != 0 || len(rep.Downtime) != 0 {
+		t.Fatalf("nil tracker report = %+v", rep)
+	}
+	if opts := tr.Options(); opts.Window != 0 {
+		t.Fatalf("nil tracker options = %+v", opts)
+	}
+}
