@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-all bench-ring experiments examples clean
+.PHONY: all build test vet fmt-check check metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke train-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-all bench-ring experiments examples clean
 
 all: check
 
@@ -31,6 +31,7 @@ check: vet fmt-check
 	$(MAKE) timeline-smoke
 	$(MAKE) nvariant-smoke
 	$(MAKE) slo-smoke
+	$(MAKE) train-smoke
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -86,6 +87,18 @@ slo-smoke:
 		{ echo "BENCH_slo.json is stale; run 'make bench-slo' to regenerate"; rm -f .bench_slo_smoke.json; exit 1; }
 	rm -f .bench_slo_smoke.json
 
+# Same contract for the update-train artifact: the eager-vs-lazy
+# transformation sweep and the train scenarios (chain, mid-chain
+# rollback, update-during-update) run in deterministic virtual time and
+# must reproduce BENCH_train.json byte-for-byte (regenerate with
+# `make bench-train`; see docs/OBSERVABILITY.md for the lazy-transform
+# counter vocabulary).
+train-smoke:
+	$(GO) run ./cmd/benchtool -experiment train -json .bench_train_smoke.json >/dev/null
+	diff -u BENCH_train.json .bench_train_smoke.json || \
+		{ echo "BENCH_train.json is stale; run 'make bench-train' to regenerate"; rm -f .bench_train_smoke.json; exit 1; }
+	rm -f .bench_train_smoke.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
@@ -106,8 +119,12 @@ bench-nvariant:
 bench-slo:
 	$(GO) run ./cmd/benchtool -experiment slo -json BENCH_slo.json >/dev/null
 
+# Regenerate the committed update-train baseline.
+bench-train:
+	$(GO) run ./cmd/benchtool -experiment train -json BENCH_train.json >/dev/null
+
 # Regenerate every committed BENCH_*.json artifact in one sweep.
-bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo
+bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train
 
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:

@@ -12,6 +12,7 @@
 //	benchtool -experiment timeline # span tracing + request latency attribution
 //	benchtool -experiment nvariant # N-variant fleet: quorum verdicts + canary gates
 //	benchtool -experiment slo      # availability ledger: SLO windows, MTTR, pause attribution
+//	benchtool -experiment train    # update trains: eager vs lazy state transformation
 //	benchtool -experiment all      # everything
 //
 // benchtool -list enumerates the experiments with one-line
@@ -52,7 +53,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|train|all")
 	list := flag.Bool("list", false, "list the experiments with one-line descriptions and exit")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
@@ -230,6 +231,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.SLOSchemaID)
 		}
 	}
+	if run("train") {
+		report, err := bench.RunTrainReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTrainReport(report))
+		if *jsonOut != "" && *experiment == "train" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.TrainSchemaID)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())
 }
 
@@ -248,6 +267,7 @@ var experiments = []struct{ name, desc string }{
 	{"timeline", "span tracing + request latency attribution -> BENCH_timeline.json"},
 	{"nvariant", "N-variant fleet: quorum verdicts + canary gates -> BENCH_nvariant.json"},
 	{"slo", "availability ledger: SLO windows, MTTR, pause attribution -> BENCH_slo.json"},
+	{"train", "update trains: eager vs lazy state transformation -> BENCH_train.json"},
 	{"all", "every experiment above, in order"},
 }
 

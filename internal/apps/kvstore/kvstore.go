@@ -93,10 +93,14 @@ type entry struct {
 	// expireAt is the virtual-time deadline after which the entry is
 	// treated as absent (0 = no expiry). Only 2.1.0+ sets it.
 	expireAt time.Duration
+	// gen is the lazy-migration generation this entry was last
+	// transformed to; entries below the server's xformGen still owe
+	// migration steps (one per skipped hop).
+	gen int
 }
 
 func (e *entry) clone() *entry {
-	out := &entry{typ: e.typ, str: e.str, expireAt: e.expireAt}
+	out := &entry{typ: e.typ, str: e.str, expireAt: e.expireAt, gen: e.gen}
 	if e.hash != nil {
 		out.hash = make(map[string]string, len(e.hash))
 		for k, v := range e.hash {
@@ -119,6 +123,13 @@ type Server struct {
 	conns    map[int]*connState
 	db       map[string]*entry
 
+	// xformGen counts the lazy version hops this instance has absorbed;
+	// entries at a lower generation still owe migration steps.
+	xformGen int
+	// lazy is the in-progress lazy migration, nil once every entry has
+	// caught up (or when the last update was eager).
+	lazy *lazyState
+
 	// Ops counts executed commands (exported for benchmarks).
 	Ops int64
 	// CmdCPU is the user-space CPU charged per command (benchmark cost
@@ -127,6 +138,20 @@ type Server struct {
 	// ListenPort overrides the default Port when non-zero (cluster
 	// deployments run several nodes side by side).
 	ListenPort int64
+}
+
+// lazyState tracks one in-progress lazy migration: how many entries
+// still lag, a sorted key snapshot for the deterministic background
+// sweep, and the migration work the current command has accrued (billed
+// to the requesting connection just before its reply is written).
+type lazyState struct {
+	perEntry time.Duration
+	pending  int      // entries in the db still below xformGen
+	keys     []string // sorted snapshot of lagging keys at begin time
+	cursor   int      // sweep position in keys
+
+	chargeSteps int // generation steps applied by the current command
+	chargeCost  time.Duration
 }
 
 // New builds a cold server for the given spec.
@@ -197,9 +222,15 @@ func (s *Server) Fork() dsu.App {
 		epollFD:    s.epollFD,
 		conns:      make(map[int]*connState, len(s.conns)),
 		db:         make(map[string]*entry, len(s.db)),
+		xformGen:   s.xformGen,
 		Ops:        s.Ops,
 		CmdCPU:     s.CmdCPU,
 		ListenPort: s.ListenPort,
+	}
+	if s.lazy != nil {
+		l := *s.lazy
+		l.keys = append([]string(nil), s.lazy.keys...)
+		out.lazy = &l
 	}
 	for fd, cs := range s.conns {
 		out.conns[fd] = &connState{in: cs.in.Clone()}
@@ -208,6 +239,125 @@ func (s *Server) Fork() dsu.App {
 		out.db[k] = e.clone()
 	}
 	return out
+}
+
+// beginLazyMigration arms per-entry lazy transformation after a spec
+// swap: every entry below the bumped generation owes one more migration
+// step, paid on first access or by the background sweep. Stacks: an
+// entry untouched across two hops owes (and pays) two steps at once.
+func (s *Server) beginLazyMigration(perEntry time.Duration) {
+	s.xformGen++
+	if s.lazy != nil && s.lazy.perEntry > perEntry {
+		perEntry = s.lazy.perEntry // keep the dearest outstanding rate
+	}
+	keys := make([]string, 0, len(s.db))
+	for k, e := range s.db {
+		if e.gen < s.xformGen {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		s.lazy = nil
+		return
+	}
+	s.lazy = &lazyState{perEntry: perEntry, pending: len(keys), keys: keys}
+}
+
+// finishLazyEagerly absorbs any outstanding lazy debt during an eager
+// whole-heap transformation, which rewrites every entry anyway.
+func (s *Server) finishLazyEagerly() {
+	if s.lazy == nil {
+		return
+	}
+	for _, e := range s.db {
+		e.gen = s.xformGen
+	}
+	s.lazy = nil
+}
+
+// touch migrates a just-accessed entry to the current generation,
+// accruing the skipped hops' work against the current command.
+func (s *Server) touch(e *entry) {
+	if s.lazy == nil || e.gen >= s.xformGen {
+		return
+	}
+	steps := s.xformGen - e.gen
+	e.gen = s.xformGen
+	s.lazy.pending--
+	s.lazy.chargeSteps += steps
+	s.lazy.chargeCost += time.Duration(steps) * s.lazy.perEntry
+}
+
+// discard notes that a lagging entry left the db unread (deleted,
+// expired, or overwritten wholesale): its migration debt dies with it.
+func (s *Server) discard(e *entry) {
+	if s.lazy != nil && e.gen < s.xformGen {
+		s.lazy.pending--
+	}
+}
+
+// put installs a fresh entry (already at the current generation),
+// retiring any lagging entry it replaces.
+func (s *Server) put(key string, e *entry) *entry {
+	if old, ok := s.db[key]; ok {
+		s.discard(old)
+	}
+	e.gen = s.xformGen
+	s.db[key] = e
+	return e
+}
+
+// maybeFinishLazy drops the migration bookkeeping once nothing lags,
+// restoring the zero-cost fast path.
+func (s *Server) maybeFinishLazy() {
+	if s.lazy != nil && s.lazy.pending == 0 && s.lazy.chargeSteps == 0 {
+		s.lazy = nil
+	}
+}
+
+// chargeLazy bills the migration work the just-executed command
+// performed to the requesting connection, before its reply is written.
+func (s *Server) chargeLazy(env *dsu.Env) {
+	if s.lazy == nil || s.lazy.chargeSteps == 0 {
+		return
+	}
+	steps, cost := s.lazy.chargeSteps, s.lazy.chargeCost
+	s.lazy.chargeSteps, s.lazy.chargeCost = 0, 0
+	env.ChargeLazyXform(steps, cost)
+	s.maybeFinishLazy()
+}
+
+// PendingLazy implements dsu.LazyApp.
+func (s *Server) PendingLazy() int {
+	if s.lazy == nil {
+		return 0
+	}
+	return s.lazy.pending
+}
+
+// SweepLazy implements dsu.LazyApp: migrate up to max entries from the
+// sorted snapshot, skipping keys already retired or caught up on access.
+func (s *Server) SweepLazy(max int) (int, time.Duration) {
+	if s.lazy == nil {
+		return 0, 0
+	}
+	la := s.lazy
+	migrated, cost := 0, time.Duration(0)
+	for migrated < max && la.cursor < len(la.keys) {
+		k := la.keys[la.cursor]
+		la.cursor++
+		e, ok := s.db[k]
+		if !ok || e.gen >= s.xformGen {
+			continue
+		}
+		cost += time.Duration(s.xformGen-e.gen) * la.perEntry
+		e.gen = s.xformGen
+		la.pending--
+		migrated++
+	}
+	s.maybeFinishLazy()
+	return migrated, cost
 }
 
 // Main implements dsu.App: the epoll-driven serving loop.
@@ -283,10 +433,12 @@ func (s *Server) serveConn(env *dsu.Env, fd int) bool {
 			// timestamp, keeping expiry decisions identical.
 			now := time.Duration(env.Sys(sysabi.Call{Op: sysabi.OpClock}).Ret)
 			reply := s.executeAt(now, line)
+			s.chargeLazy(env)
 			env.Sys(sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: reply})
 			continue
 		}
 		reply := s.execute(line)
+		s.chargeLazy(env)
 		s.respond(env, fd, reply)
 	}
 	return true
@@ -321,9 +473,11 @@ func (s *Server) lookup(now time.Duration, key string) (*entry, bool) {
 		return nil, false
 	}
 	if now > 0 && e.expireAt > 0 && now >= e.expireAt {
+		s.discard(e)
 		delete(s.db, key)
 		return nil, false
 	}
+	s.touch(e)
 	return e, true
 }
 
@@ -343,7 +497,7 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		if len(args) < 3 {
 			return proto.ErrorReply("wrong number of arguments for 'set' command")
 		}
-		s.db[args[1]] = &entry{typ: typeString, str: args[2]}
+		s.put(args[1], &entry{typ: typeString, str: args[2]})
 		return proto.SimpleString("OK")
 	case "GET", "get":
 		if len(args) != 2 {
@@ -363,7 +517,8 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		}
 		n := int64(0)
 		for _, k := range args[1:] {
-			if _, ok := s.db[k]; ok {
+			if e, ok := s.db[k]; ok {
+				s.discard(e)
 				delete(s.db, k)
 				n++
 			}
@@ -383,8 +538,7 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		}
 		e, ok := s.lookup(now, args[1])
 		if !ok {
-			e = &entry{typ: typeString, str: "0"}
-			s.db[args[1]] = e
+			e = s.put(args[1], &entry{typ: typeString, str: "0"})
 		}
 		if e.typ != typeString {
 			return proto.WrongTypeReply()
@@ -401,9 +555,10 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 			return proto.ErrorReply("wrong number of arguments for 'hset' command")
 		}
 		e, ok := s.db[args[1]]
-		if !ok {
-			e = &entry{typ: typeHash, hash: make(map[string]string)}
-			s.db[args[1]] = e
+		if ok {
+			s.touch(e)
+		} else {
+			e = s.put(args[1], &entry{typ: typeHash, hash: make(map[string]string)})
 		}
 		if e.typ != typeHash {
 			return proto.WrongTypeReply()
@@ -419,6 +574,9 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 			return proto.ErrorReply("wrong number of arguments for 'hget' command")
 		}
 		e, ok := s.db[args[1]]
+		if ok {
+			s.touch(e)
+		}
 		if !ok || e.typ != typeHash {
 			if ok && e.typ != typeHash {
 				return proto.WrongTypeReply()
@@ -435,6 +593,9 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 			return proto.ErrorReply("wrong number of arguments for 'hmget' command")
 		}
 		e, ok := s.db[args[1]]
+		if ok {
+			s.touch(e)
+		}
 		if ok && e.typ != typeHash {
 			if s.spec.BugHMGET {
 				// Revision 7fb16bac: the wrong-type check is missing and
@@ -483,6 +644,9 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		return proto.Array(items)
 	case "FLUSHDB", "flushdb":
 		s.db = make(map[string]*entry)
+		if s.lazy != nil {
+			s.lazy.pending = 0 // nothing left to migrate
+		}
 		return proto.SimpleString("OK")
 	case "APPEND", "append":
 		if !s.spec.HasAppend {
@@ -492,9 +656,10 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 			return proto.ErrorReply("wrong number of arguments for 'append' command")
 		}
 		e, ok := s.db[args[1]]
-		if !ok {
-			e = &entry{typ: typeString}
-			s.db[args[1]] = e
+		if ok {
+			s.touch(e)
+		} else {
+			e = s.put(args[1], &entry{typ: typeString})
 		}
 		if e.typ != typeString {
 			return proto.WrongTypeReply()
@@ -511,12 +676,13 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		e, ok := s.db[args[1]]
 		old := proto.NullBulk()
 		if ok {
+			s.touch(e)
 			if e.typ != typeString {
 				return proto.WrongTypeReply()
 			}
 			old = proto.Bulk(e.str)
 		}
-		s.db[args[1]] = &entry{typ: typeString, str: args[2]}
+		s.put(args[1], &entry{typ: typeString, str: args[2]})
 		return old
 	case "EXPIRE", "expire":
 		if !s.spec.HasExpire {

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -413,6 +414,198 @@ func TestXformPreservesStateProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// A lazy update installs in O(1) and migrates entries on first touch or
+// via the background sweep, never both.
+func TestLazyUpdateMigratesOnTouchAndSweep(t *testing.T) {
+	old := New(SpecFor("2.0.1", false))
+	old.Preload(6)
+	v := Update("2.0.1", "2.0.2", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	if got := v.XformCost(old); got != LazyInstallCost {
+		t.Fatalf("lazy install cost = %v, want %v regardless of store size", got, LazyInstallCost)
+	}
+	if !v.LazyXform {
+		t.Fatal("LazyXform flag not set")
+	}
+	na, err := v.Xform(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := na.(*Server)
+	if n.PendingLazy() != 6 {
+		t.Fatalf("PendingLazy = %d, want 6", n.PendingLazy())
+	}
+	// First touch migrates the entry and accrues the charge for the
+	// requesting command.
+	if got := string(n.executeAt(0, "GET key:00000001")); got != "$12\r\nval:00000001\r\n" {
+		t.Fatalf("GET = %q", got)
+	}
+	if n.PendingLazy() != 5 {
+		t.Fatalf("PendingLazy after touch = %d, want 5", n.PendingLazy())
+	}
+	if n.lazy.chargeSteps != 1 || n.lazy.chargeCost != time.Microsecond {
+		t.Fatalf("charge = %d steps %v", n.lazy.chargeSteps, n.lazy.chargeCost)
+	}
+	// The sweep drains the rest, skipping the already-touched entry.
+	swept, cost := n.SweepLazy(100)
+	if swept != 5 || cost != 5*time.Microsecond {
+		t.Fatalf("SweepLazy = %d entries %v", swept, cost)
+	}
+	if n.PendingLazy() != 0 {
+		t.Fatalf("PendingLazy after sweep = %d", n.PendingLazy())
+	}
+	// The bookkeeping lingers only until the accrued charge is billed.
+	n.lazy.chargeSteps, n.lazy.chargeCost = 0, 0
+	n.maybeFinishLazy()
+	if n.lazy != nil {
+		t.Fatal("lazy state not retired after drain")
+	}
+}
+
+// Generations stack: an entry untouched across two lazy hops pays both
+// transforms on first access (or in one sweep visit).
+func TestLazyGenerationsStack(t *testing.T) {
+	old := New(SpecFor("2.0.1", false))
+	old.Preload(4)
+	hop1 := Update("2.0.1", "2.0.2", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	a1, err := hop1.Xform(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := a1.(*Server)
+	s1.executeAt(0, "GET key:00000001") // this entry reaches gen 1
+	s1.lazy.chargeSteps, s1.lazy.chargeCost = 0, 0
+	hop2 := Update("2.0.2", "2.0.3", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	a2, err := hop2.Xform(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := a2.(*Server)
+	if s2.xformGen != 2 {
+		t.Fatalf("xformGen = %d, want 2", s2.xformGen)
+	}
+	if s2.PendingLazy() != 4 {
+		t.Fatalf("PendingLazy = %d, want 4 (everything lags again)", s2.PendingLazy())
+	}
+	// Untouched across both hops: owes 2 steps at once.
+	s2.executeAt(0, "GET key:00000002")
+	if s2.lazy.chargeSteps != 2 || s2.lazy.chargeCost != 2*time.Microsecond {
+		t.Fatalf("stacked charge = %d steps %v, want 2 steps 2µs", s2.lazy.chargeSteps, s2.lazy.chargeCost)
+	}
+	// Touched during hop 1: owes only the second hop.
+	s2.executeAt(0, "GET key:00000001")
+	if s2.lazy.chargeSteps != 3 {
+		t.Fatalf("charge after second touch = %d steps, want 3", s2.lazy.chargeSteps)
+	}
+	// The sweep pays the remaining two entries' stacked debt.
+	swept, cost := s2.SweepLazy(100)
+	if swept != 2 || cost != 4*time.Microsecond {
+		t.Fatalf("SweepLazy = %d entries %v, want 2 entries 4µs", swept, cost)
+	}
+	if s2.PendingLazy() != 0 {
+		t.Fatalf("PendingLazy = %d after sweep", s2.PendingLazy())
+	}
+}
+
+// An eager hop rewrites the whole heap, settling any debt a previous
+// lazy hop left; its cost is linear again.
+func TestEagerUpdateSettlesLazyDebt(t *testing.T) {
+	old := New(SpecFor("2.0.1", false))
+	old.Preload(5)
+	hop1 := Update("2.0.1", "2.0.2", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	a1, _ := hop1.Xform(old)
+	s1 := a1.(*Server)
+	if s1.PendingLazy() != 5 {
+		t.Fatalf("PendingLazy = %d", s1.PendingLazy())
+	}
+	hop2 := Update("2.0.2", "2.0.3", UpdateOpts{PerEntryXform: time.Microsecond})
+	if got := hop2.XformCost(s1); got != 5*time.Microsecond {
+		t.Fatalf("eager cost = %v, want 5µs", got)
+	}
+	a2, _ := hop2.Xform(s1)
+	s2 := a2.(*Server)
+	if s2.PendingLazy() != 0 || s2.lazy != nil {
+		t.Fatal("eager hop left lazy debt behind")
+	}
+	for k, e := range s2.db {
+		if e.gen != s2.xformGen {
+			t.Fatalf("entry %s at gen %d, want %d", k, e.gen, s2.xformGen)
+		}
+	}
+}
+
+// Deleting or overwriting a lagging entry retires its migration debt
+// without charging anyone.
+func TestLazyDebtDiesWithDeletedEntries(t *testing.T) {
+	old := New(SpecFor("2.0.1", false))
+	old.Preload(3)
+	v := Update("2.0.1", "2.0.2", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	na, _ := v.Xform(old)
+	n := na.(*Server)
+	n.executeAt(0, "DEL key:00000000")
+	if n.PendingLazy() != 2 || n.lazy.chargeSteps != 0 {
+		t.Fatalf("after DEL: pending=%d charge=%d", n.PendingLazy(), n.lazy.chargeSteps)
+	}
+	n.executeAt(0, "SET key:00000001 fresh")
+	if n.PendingLazy() != 1 || n.lazy.chargeSteps != 0 {
+		t.Fatalf("after SET: pending=%d charge=%d", n.PendingLazy(), n.lazy.chargeSteps)
+	}
+	n.executeAt(0, "FLUSHDB")
+	if n.PendingLazy() != 0 {
+		t.Fatalf("after FLUSHDB: pending=%d", n.PendingLazy())
+	}
+}
+
+// A lazy update rides the full MVEDSUA lifecycle: traffic keeps flowing,
+// touched entries migrate on access, the sweep drains the cold tail, and
+// no state is lost.
+func TestLazyUpdateUnderMVEDSUA(t *testing.T) {
+	v := Update("2.0.0", "2.0.1", UpdateOpts{Lazy: true, PerEntryXform: time.Microsecond})
+	serve(t, SpecFor("2.0.0", false), core.Config{}, func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+		for i := 0; i < 8; i++ {
+			c.Do(tk, fmt.Sprintf("SET cold:%d v%d", i, i))
+		}
+		c.Do(tk, "SET hot before-update")
+		if !w.C.Update(v) {
+			t.Fatal("Update rejected")
+		}
+		for i := 0; i < 5; i++ {
+			c.Do(tk, "INCR ctr")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		if w.C.Stage() != core.StageOutdatedLeader {
+			t.Fatalf("stage = %v; divergences: %v", w.C.Stage(), w.C.Monitor().Divergences())
+		}
+		// Touch path: reads during validation migrate on access and stay
+		// coherent across leader and follower.
+		if got := c.Do(tk, "GET hot"); got != "$13\r\nbefore-update\r\n" {
+			t.Errorf("GET hot during update = %q", got)
+		}
+		w.C.Promote()
+		for i := 0; i < 5; i++ {
+			c.Do(tk, "INCR ctr")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		w.C.Commit()
+		tk.Sleep(20 * time.Millisecond) // sweep window for the cold tail
+		srv := w.C.LeaderRuntime().App().(*Server)
+		if srv.Version() != "2.0.1" {
+			t.Fatalf("leader version = %s", srv.Version())
+		}
+		if srv.PendingLazy() != 0 {
+			t.Fatalf("PendingLazy = %d after sweep window", srv.PendingLazy())
+		}
+		for i := 0; i < 8; i++ {
+			want := fmt.Sprintf("$2\r\nv%d\r\n", i)
+			if got := c.Do(tk, fmt.Sprintf("GET cold:%d", i)); got != want {
+				t.Errorf("GET cold:%d = %q, want %q", i, got, want)
+			}
+		}
+		if got := c.Do(tk, "INCR ctr"); got != ":11\r\n" {
+			t.Errorf("final INCR = %q", got)
+		}
+	})
 }
 
 // Property: xform cost is linear in the store size.

@@ -13,6 +13,11 @@ import (
 // transforms in ≈6.2s, matching the paper's footnote 11.
 const DefaultPerEntryXform = 6200 * time.Nanosecond
 
+// LazyInstallCost is the constant pause a lazy update charges at
+// install time (swap the spec, bump the generation, snapshot the
+// lagging keys) — independent of store size, which is the point.
+const LazyInstallCost = 50 * time.Microsecond
+
 // UpdateOpts injects the fault classes of §6.2 into an update.
 type UpdateOpts struct {
 	// BugHMGET makes the new version carry revision 7fb16bac (crash on
@@ -29,6 +34,11 @@ type UpdateOpts struct {
 	// PerEntryXform overrides the per-entry transformation cost
 	// (DefaultPerEntryXform when zero).
 	PerEntryXform time.Duration
+	// Lazy switches the update to per-entry lazy state transformation:
+	// install costs LazyInstallCost regardless of store size, and each
+	// entry pays its per-entry cost on first access (charged to the
+	// touching request) or when the background sweep reaches it.
+	Lazy bool
 }
 
 // stage-specific rule sets for the one version pair whose syscall
@@ -157,6 +167,13 @@ func Update(from, to string, opts UpdateOpts) *dsu.Version {
 				// store while believing it updated correctly.
 				n.db = make(map[string]*entry)
 			}
+			if opts.Lazy {
+				n.beginLazyMigration(perEntry)
+			} else {
+				// An eager transformation rewrites the whole heap, so
+				// it also settles any debt a previous lazy hop left.
+				n.finishLazyEagerly()
+			}
 			return n, nil
 		},
 		XformCost: func(old dsu.App) time.Duration {
@@ -164,10 +181,16 @@ func Update(from, to string, opts UpdateOpts) *dsu.Version {
 			if !ok {
 				return 0
 			}
+			if opts.Lazy {
+				// Installing the new version is O(1); the per-entry
+				// work migrates to first-touch and the sweep.
+				return LazyInstallCost
+			}
 			// Traversing and rewriting every entry, as Kitsune's heap
 			// transformation does.
 			return time.Duration(len(o.db)) * perEntry
 		},
+		LazyXform:    opts.Lazy,
 		Rules:        fwd,
 		ReverseRules: rev,
 	}

@@ -33,7 +33,7 @@ var ChaosKinds = []string{
 	"follower-delay",         // follower merely slow -> absorbed, update proceeds
 	"leader-crash",           // old leader dies during validation -> follower promoted
 	"leader-delay",           // leader slowed mid-update -> absorbed, update proceeds
-	"xform-error",            // state transformation fails -> crash rollback
+	"xform-error",            // state transformation fails -> graceful rollback
 }
 
 // ChaosScenario is one cell of the fault matrix.
@@ -305,7 +305,7 @@ func ChaosRun(sc ChaosScenario) ChaosResult {
 	case "follower-crash":
 		outcomeOK = rolledBack("rolled back: follower crashed", "follower crash; rolled back")
 	case "xform-error":
-		outcomeOK = rolledBack("rolled back: follower crashed", "state-transform failure; rolled back")
+		outcomeOK = rolledBack("rolled back: state transformation", "state-transform failure; rolled back")
 	case "follower-stall":
 		outcomeOK = rolledBack("rolled back: stall", "watchdog caught the stall; rolled back") &&
 			has("no progress")

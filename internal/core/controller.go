@@ -158,6 +158,7 @@ type Controller struct {
 	leaderRT   *dsu.Runtime // runtime of the process currently leading
 	otherRT    *dsu.Runtime // runtime of the follower process (either stage)
 	pending    *dsu.Version
+	queued     []*dsu.Version // update train: hops waiting behind pending
 	retries    int
 	nextProcID int
 
@@ -320,7 +321,8 @@ func (c *Controller) procName(version string) string {
 // Update requests a dynamic update to v (Figure 2, t1). The update is
 // taken at the leader's next full quiescence: MVEDSUA forks a follower,
 // applies the update there, and begins validating it. Returns false if
-// another update is already pending or the controller is mid-update.
+// another update is already pending or the controller is mid-update;
+// callers shipping a version train should use QueueUpdate instead.
 func (c *Controller) Update(v *dsu.Version) bool {
 	if c.stage != StageSingleLeader || c.pending != nil {
 		return false
@@ -331,8 +333,61 @@ func (c *Controller) Update(v *dsu.Version) bool {
 	return c.leaderRT.RequestUpdate(v)
 }
 
+// QueueUpdate requests v, queueing it behind any in-flight update
+// instead of dropping it: versions form a train and each hop starts the
+// moment the previous one commits. Returns 0 when v was requested
+// immediately, otherwise v's position in the train (1 = next up). A
+// rollback or abandoned hop flushes the rest of the train — later hops
+// assume the earlier ones' state shape, so skipping one is never safe.
+func (c *Controller) QueueUpdate(v *dsu.Version) int {
+	if c.Update(v) {
+		return 0
+	}
+	c.queued = append(c.queued, v)
+	c.transition(c.stage, fmt.Sprintf("queued update %s (train depth %d)", v.Name, len(c.queued)))
+	return len(c.queued)
+}
+
+// QueuedUpdates reports how many train hops wait behind the in-flight
+// update (the pending one itself is not counted).
+func (c *Controller) QueuedUpdates() int { return len(c.queued) }
+
+// armNext starts the next queued train hop once the controller is back
+// in single-leader mode with no update pending.
+func (c *Controller) armNext() {
+	if c.stage != StageSingleLeader || c.pending != nil || len(c.queued) == 0 {
+		return
+	}
+	v := c.queued[0]
+	c.queued = c.queued[1:]
+	c.pending = v
+	c.retries = 0
+	c.rec.Inc(obs.CCoreUpdates)
+	c.transition(c.stage, fmt.Sprintf("train: requesting %s (%d more queued)", v.Name, len(c.queued)))
+	c.leaderRT.RequestUpdate(v)
+}
+
+// flushTrain drops every queued train hop after a failed one. Later
+// hops transform from the state shape the failed hop would have left
+// behind, so they cannot be applied out of order.
+func (c *Controller) flushTrain(why string) {
+	if len(c.queued) == 0 {
+		return
+	}
+	n := len(c.queued)
+	c.queued = nil
+	c.transition(c.stage, fmt.Sprintf("update train flushed after %s (%d queued hop(s) dropped)", why, n))
+}
+
 // takeUpdate is the leader's DSU consultation hook: fork and abort.
 func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) dsu.TakeAction {
+	// The update was requested when the leader runtime armed it, not
+	// when quiescence finally decided it here; thread the real request
+	// time into the follower's update record.
+	reqAt, ok := rt.PendingSince()
+	if !ok {
+		reqAt = c.sched.Now()
+	}
 	forked := rt.App().Fork()
 	proc := c.mon.AttachFollower(c.procName(v.Name), v.Rules)
 	c.beginUpdateSpan(v.Name)
@@ -341,12 +396,23 @@ func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) ds
 	cfg.Dispatcher = c.wrapDispatcher("follower", proc)
 	cfg.ParallelXform = true
 	cfg.TakeUpdate = nil
-	cfg.OnOutcome = nil
+	cfg.OnOutcome = c.followerOutcome
 	cfg.Rec = c.rec
 	c.otherRT = dsu.NewRuntime(c.sched, forked, cfg)
-	c.otherRT.StartUpdatedFrom(forked, v)
+	c.otherRT.StartUpdatedFromAt(forked, v, reqAt)
 	c.transition(StageOutdatedLeader, "forked follower for "+v.Name)
 	return dsu.TakeAbort
+}
+
+// followerOutcome observes the forked follower runtime's update records.
+// A failed state transformation surfaces here as OutcomeFailed — the MVE
+// rollback path then sees a failed follower and reverts to the leader,
+// instead of the transform error crashing the whole scheduler.
+func (c *Controller) followerOutcome(rec dsu.UpdateRecord) {
+	if rec.Outcome != dsu.OutcomeFailed {
+		return
+	}
+	c.Rollback(fmt.Sprintf("state transformation to %s failed: %v", rec.Version, rec.Err))
 }
 
 // updateOutcome observes the leader runtime's update records to retry
@@ -359,6 +425,7 @@ func (c *Controller) updateOutcome(rec dsu.UpdateRecord) {
 	if v == nil || c.cfg.RetryInterval <= 0 || c.retries >= c.cfg.MaxRetries {
 		c.pending = nil
 		c.transition(c.stage, "update "+rec.Version+" abandoned after timeout")
+		c.flushTrain("abandoning " + rec.Version)
 		return
 	}
 	c.retries++
@@ -465,6 +532,7 @@ func (c *Controller) Commit() bool {
 	// The promoted runtime now leads: future updates must fork again.
 	c.leaderRT.SetUpdateHooks(c.takeUpdate, c.updateOutcome, false)
 	c.transition(StageSingleLeader, "update committed")
+	c.armNext()
 	return true
 }
 
@@ -486,6 +554,11 @@ func (c *Controller) Rollback(reason string) bool {
 	c.rec.Inc(obs.CCoreRollbacks)
 	c.endUpdateSpan()
 	c.transition(StageSingleLeader, "rolled back: "+reason)
+	flushed := "rollback"
+	if v != nil {
+		flushed = "rollback of " + v.Name
+	}
+	c.flushTrain(flushed)
 	if c.cfg.RetryOnRollback && v != nil && c.cfg.RetryInterval > 0 && c.retries < c.cfg.MaxRetries {
 		c.retries++
 		c.scheduleRetry(v, c.retries, "rollback")
@@ -510,6 +583,7 @@ func (c *Controller) handleStall(st mve.Stall) {
 		c.otherRT = nil
 		c.pending = nil
 		c.transition(StageSingleLeader, "outdated follower stalled ("+st.Reason+"); committed")
+		c.armNext()
 	}
 }
 
@@ -529,6 +603,7 @@ func (c *Controller) handleDivergence(d mve.Divergence) {
 		c.otherRT = nil
 		c.pending = nil
 		c.transition(StageSingleLeader, "outdated follower diverged; committed "+d.Proc)
+		c.armNext()
 	}
 }
 
@@ -569,6 +644,7 @@ func (c *Controller) handleCrash(info sim.CrashInfo) bool {
 		c.otherRT = nil
 		c.pending = nil
 		c.transition(StageSingleLeader, "outdated follower crashed; committed")
+		c.armNext()
 		handled = true
 	case c.taskBelongs(c.leaderRT, info) && c.stage == StageOutdatedLeader:
 		// The old version crashed while leading — likely an old-version
@@ -590,6 +666,10 @@ func (c *Controller) handleCrash(info sim.CrashInfo) bool {
 		// so promote it back — the update is effectively rolled back
 		// with no state loss (the symmetric case of §3.2's old-version
 		// recovery).
+		// The train, if any, dies with the update: the revert puts the
+		// old version back in charge, and later hops transform from the
+		// crashed version's state shape.
+		c.flushTrain("new-leader crash")
 		c.mon.MarkLeaderCrashed()
 		rt := c.leaderRT
 		c.sched.Go("revert-on-crash", func(t *sim.Task) {

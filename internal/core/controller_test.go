@@ -278,14 +278,27 @@ func TestStateXformErrorRollsBack(t *testing.T) {
 	h := newHarness(Config{})
 	h.c.Start(&srv{version: "v1"})
 	v2 := upgrade(fmt.Errorf("freed memory still in use"), nil)
-	handled := false
-	h.c.OnCrash = func(info sim.CrashInfo, ok bool) { handled = handled || ok }
+	// A failed transformation is a recorded outcome, not a process
+	// crash: the crash handler must stay silent while the controller
+	// rolls the update back gracefully.
+	crashed := false
+	h.c.OnCrash = func(info sim.CrashInfo, ok bool) { crashed = true }
 	h.client(6, map[int]func(*sim.Task){
 		2: func(tk *sim.Task) { h.c.Update(v2) },
 	})
 	h.run(t)
-	if !handled {
-		t.Fatal("follower crash was not handled")
+	if crashed {
+		t.Fatal("xform error surfaced as a crash instead of a failed-update rollback")
+	}
+	found := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "rolled back: state transformation to v2 failed") &&
+			strings.Contains(ev.Note, "freed memory still in use") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no graceful rollback in timeline: %v", h.c.Timeline())
 	}
 	want := []string{"1", "2", "3", "4", "5", "6"}
 	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
@@ -293,6 +306,139 @@ func TestStateXformErrorRollsBack(t *testing.T) {
 	}
 	if h.c.Stage() != StageSingleLeader {
 		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	if got := h.c.LeaderRuntime().App().Version(); got != "v1" {
+		t.Fatalf("leader version = %s, want v1", got)
+	}
+}
+
+// upgradeFromV2 builds the second hop of an update train: v2 -> name,
+// with same-length reply rewrites in both directions.
+func upgradeFromV2(name string) *dsu.Version {
+	return &dsu.Version{
+		Name: name,
+		New:  func() dsu.App { return &srv{version: name} },
+		Rules: dsl.MustParse(`
+rule "v2-to-next-reply" {
+    match write(fd, s, n) where prefix(s, "v2:") {
+        emit write(fd, concat("` + name + `:", sub(s, 3, len(s))), n);
+    }
+}
+`),
+		ReverseRules: dsl.MustParse(`
+rule "next-to-v2-reply" {
+    match write(fd, s, n) where prefix(s, "` + name + `:") {
+        emit write(fd, concat("v2:", sub(s, 3, len(s))), n);
+    }
+}
+`),
+		Xform: func(old dsu.App) (dsu.App, error) {
+			o := old.(*srv)
+			return &srv{version: name, listenFD: o.listenFD, connFD: o.connFD, count: o.count}, nil
+		},
+	}
+}
+
+// An update train: the second hop is queued while the first is still in
+// flight, arms automatically when the first commits, and walks the full
+// lifecycle itself — no request is ever dropped.
+func TestQueuedUpdateTrainCommitsBothHops(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	v2 := upgrade(nil, nil)
+	v3 := upgradeFromV2("v3")
+	h.client(14, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) {
+			if pos := h.c.QueueUpdate(v2); pos != 0 {
+				t.Errorf("QueueUpdate(v2) position = %d, want 0 (immediate)", pos)
+			}
+			if pos := h.c.QueueUpdate(v3); pos != 1 {
+				t.Errorf("QueueUpdate(v3) position = %d, want 1 (queued)", pos)
+			}
+			if h.c.QueuedUpdates() != 1 {
+				t.Errorf("QueuedUpdates = %d, want 1", h.c.QueuedUpdates())
+			}
+		},
+		5: func(tk *sim.Task) {
+			if !h.c.Promote() {
+				t.Error("first Promote rejected")
+			}
+		},
+		7: func(tk *sim.Task) {
+			if !h.c.Commit() {
+				t.Error("first Commit rejected")
+			}
+			// The queued hop must be armed by the commit, not dropped.
+			if h.c.QueuedUpdates() != 0 {
+				t.Errorf("QueuedUpdates after commit = %d, want 0 (armed)", h.c.QueuedUpdates())
+			}
+		},
+		10: func(tk *sim.Task) {
+			if !h.c.Promote() {
+				t.Error("second Promote rejected")
+			}
+		},
+		12: func(tk *sim.Task) {
+			if !h.c.Commit() {
+				t.Error("second Commit rejected")
+			}
+		},
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "v2:7", "v2:8", "v2:9", "v2:10", "v2:11", "v3:12", "v3:13", "v3:14"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v\nwant %v", h.replies, want)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("final stage = %v", h.c.Stage())
+	}
+	if got := h.c.LeaderRuntime().App().Version(); got != "v3" {
+		t.Fatalf("leader version = %s, want v3", got)
+	}
+	if len(h.c.Monitor().Divergences()) != 0 {
+		t.Fatalf("divergences: %v", h.c.Monitor().Divergences())
+	}
+}
+
+// A rollback mid-train flushes the queued hops: later hops assume the
+// earlier hops' state shape, so skipping a failed hop is never safe.
+func TestRollbackMidTrainFlushesQueuedHops(t *testing.T) {
+	h := newHarness(Config{})
+	h.c.Start(&srv{version: "v1"})
+	// First hop diverges after count 4; the queued second hop must die
+	// with it.
+	v2 := upgrade(nil, func(n *srv) { n.misformatAfter = 4 })
+	v3 := upgradeFromV2("v3")
+	h.client(8, map[int]func(*sim.Task){
+		2: func(tk *sim.Task) {
+			h.c.QueueUpdate(v2)
+			if pos := h.c.QueueUpdate(v3); pos != 1 {
+				t.Errorf("QueueUpdate(v3) position = %d, want 1", pos)
+			}
+		},
+	})
+	h.run(t)
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	if strings.Join(h.replies, ",") != strings.Join(want, ",") {
+		t.Fatalf("replies = %v", h.replies)
+	}
+	if h.c.Stage() != StageSingleLeader {
+		t.Fatalf("stage = %v", h.c.Stage())
+	}
+	if got := h.c.LeaderRuntime().App().Version(); got != "v1" {
+		t.Fatalf("leader version = %s, want v1 (rollback)", got)
+	}
+	if h.c.QueuedUpdates() != 0 {
+		t.Fatalf("QueuedUpdates = %d after rollback, want 0 (flushed)", h.c.QueuedUpdates())
+	}
+	flushed := false
+	for _, ev := range h.c.Timeline() {
+		if strings.Contains(ev.Note, "update train flushed") {
+			flushed = true
+		}
+	}
+	if !flushed {
+		t.Fatalf("timeline has no train flush: %+v", h.c.Timeline())
 	}
 }
 

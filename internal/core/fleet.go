@@ -149,11 +149,12 @@ type FleetController struct {
 	mon    *mve.Monitor
 	rec    *obs.Recorder
 
-	phase    FleetPhase
-	leaderRT *dsu.Runtime
-	live     map[string]*fleetVar // attached replicas+canary, by proc name
-	canary   *fleetVar
-	pending  *dsu.Version
+	phase     FleetPhase
+	leaderRT  *dsu.Runtime
+	live      map[string]*fleetVar // attached replicas+canary, by proc name
+	canary    *fleetVar
+	pending   *dsu.Version
+	pendingAt time.Duration // when the staged update was requested
 
 	spawned  map[string]int // incarnations per slot id
 	respawnQ []string       // slot ids awaiting the next leader barrier
@@ -305,6 +306,7 @@ func (fc *FleetController) Update(v *dsu.Version) bool {
 		return false
 	}
 	fc.pending = v
+	fc.pendingAt = fc.sched.Now()
 	fc.rec.Inc(obs.CCoreUpdates)
 	fc.atBarrier("canary-fork@"+v.Name, func(t *sim.Task) { fc.startCanary(v) })
 	return true
@@ -321,8 +323,16 @@ func (fc *FleetController) startCanary(v *dsu.Version) {
 	proc := fc.mon.AttachVariant(name, v.Rules)
 	fc.mon.MarkCanary(proc, fc.cfg.Canary.MaxDivergences)
 	fv := &fleetVar{id: "canary", name: name, proc: proc}
-	fv.rt = dsu.NewRuntime(fc.sched, forked, fc.dsuCfg("canary", name, proc, true))
-	fv.rt.StartUpdatedFrom(forked, v)
+	cfg := fc.dsuCfg("canary", name, proc, true)
+	// A canary whose state transformation fails is rolled back like one
+	// that failed its gate — the fleet must not inherit the dsu panic.
+	cfg.OnOutcome = func(rec dsu.UpdateRecord) {
+		if rec.Outcome == dsu.OutcomeFailed && fc.canary == fv {
+			fc.rollbackCanary(fmt.Sprintf("state transformation to %s failed: %v", rec.Version, rec.Err))
+		}
+	}
+	fv.rt = dsu.NewRuntime(fc.sched, forked, cfg)
+	fv.rt.StartUpdatedFromAt(forked, v, fc.pendingAt)
 	fc.live[name] = fv
 	fc.canary = fv
 	fc.transition(FleetCanary, fmt.Sprintf("canary %s forked; observing for %v", name, fc.cfg.Canary.Window))

@@ -25,6 +25,7 @@ package dsu
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mvedsua/internal/dsl"
@@ -68,6 +69,26 @@ type Version struct {
 	// updated-leader stage after promotion.
 	Rules        *dsl.RuleSet
 	ReverseRules *dsl.RuleSet
+	// LazyXform marks an update whose Xform installs a per-entry lazy
+	// migration instead of walking the whole heap: the app transforms
+	// entries on first touch, and after applying the update the runtime
+	// starts a background sweep task that migrates the cold tail in
+	// batches (the app must implement LazyApp).
+	LazyXform bool
+}
+
+// LazyApp is implemented by apps that support lazy (on-access) state
+// transformation. After a Version with LazyXform is applied, the
+// runtime runs a background sweep that drains PendingLazy via SweepLazy
+// while the app migrates hot entries on first touch, charging that work
+// to the touching request through Env.ChargeLazyXform.
+type LazyApp interface {
+	App
+	// PendingLazy returns how many entries still await migration.
+	PendingLazy() int
+	// SweepLazy migrates up to max pending entries, returning how many
+	// migrated and the virtual-time cost to charge for the batch.
+	SweepLazy(max int) (migrated int, cost time.Duration)
 }
 
 // Decision is what an update point tells the calling thread to do.
@@ -96,6 +117,7 @@ const (
 	OutcomeApplied  Outcome = iota // state transformed, new version running here
 	OutcomeForked                  // aborted here after forking to a follower
 	OutcomeTimedOut                // quiescence timeout (timing error)
+	OutcomeFailed                  // state transformation errored on a forked follower
 )
 
 // String names the outcome.
@@ -107,6 +129,8 @@ func (o Outcome) String() string {
 		return "forked"
 	case OutcomeTimedOut:
 		return "timed-out"
+	case OutcomeFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -118,6 +142,9 @@ type UpdateRecord struct {
 	Outcome     Outcome
 	RequestedAt time.Duration
 	DecidedAt   time.Duration
+	// Err carries the state-transformation error for OutcomeFailed
+	// records; nil otherwise.
+	Err error
 }
 
 // Config configures a Runtime.
@@ -156,10 +183,18 @@ type Config struct {
 	// it is written. MVEDSUA's controller uses it to retry timing
 	// errors.
 	OnOutcome func(UpdateRecord)
+	// LazySweepBatch bounds how many entries the background sweep of a
+	// LazyXform update migrates per burst. Default 64 — small enough
+	// that an in-place sweep burst stays far below typical client
+	// latency budgets regardless of keyspace size.
+	LazySweepBatch int
+	// LazySweepInterval is the pause between sweep bursts. Default 1ms.
+	LazySweepInterval time.Duration
 	// Rec, if non-nil, receives update-point counters, quiescence-wait
-	// and state-transfer histograms, and spans. All instrumentation is
-	// gated on Rec.SpansEnabled(), so a recorder that has not opted into
-	// span tracing sees no dsu traffic at all.
+	// and state-transfer histograms, and spans. Duration histograms for
+	// state transfer (and lazy-migration counters) are recorded whenever
+	// a recorder is attached; update-point counters, the quiescence-wait
+	// histogram and spans additionally require Rec.SpansEnabled().
 	Rec *obs.Recorder
 }
 
@@ -182,7 +217,9 @@ type Runtime struct {
 	quiesceQ sim.WaitQueue
 
 	attempt *attempt
+	queue   []*attempt // updates awaiting the in-flight attempt (FIFO train)
 	records []UpdateRecord
+	sweeps  []*sim.Task // live lazy-migration sweep tasks
 }
 
 // attempt tracks one in-flight update request, or a quiescence barrier
@@ -259,43 +296,113 @@ func (rt *Runtime) StartForked(app App) *sim.Task {
 // loop with Updating() == true. Returns the main thread's task.
 //
 // This is the follower half of MVEDSUA's fork-based update (§3.2, t1-t2).
+// The update record's RequestedAt is stamped now; callers that know when
+// the update was originally requested should use StartUpdatedFromAt.
 func (rt *Runtime) StartUpdatedFrom(old App, v *Version) *sim.Task {
+	return rt.StartUpdatedFromAt(old, v, rt.sched.Now())
+}
+
+// StartUpdatedFromAt is StartUpdatedFrom with an explicit request time:
+// requestedAt is when the update was requested on the forking process,
+// so the record's RequestedAt→DecidedAt gap reflects the real wait for
+// quiescence rather than collapsing to zero.
+//
+// A failing state transformation does not crash the simulation: the
+// attempt is recorded as OutcomeFailed (with the error) and the main
+// loop never starts — the MVE layer sees a failed follower and rolls
+// the update back (§3.2 "handling new-version errors").
+func (rt *Runtime) StartUpdatedFromAt(old App, v *Version, requestedAt time.Duration) *sim.Task {
 	name := fmt.Sprintf("%s/main@%s", rt.cfg.Name, v.Name)
 	t := rt.sched.Go(name, func(task *sim.Task) {
 		newApp, err := rt.applyXform(task, old, v)
 		if err != nil {
-			panic(fmt.Sprintf("dsu: state transformation to %s failed: %v", v.Name, err))
+			rt.record(UpdateRecord{
+				Version: v.Name, Outcome: OutcomeFailed, Err: err,
+				RequestedAt: requestedAt, DecidedAt: rt.sched.Now(),
+			})
+			return
 		}
 		rt.app = newApp
 		rt.gen++
 		rt.record(UpdateRecord{
 			Version: v.Name, Outcome: OutcomeApplied,
-			RequestedAt: rt.sched.Now(), DecidedAt: rt.sched.Now(),
+			RequestedAt: requestedAt, DecidedAt: rt.sched.Now(),
 		})
+		if v.LazyXform {
+			rt.startLazySweep(newApp)
+		}
 		rt.runMain(task, newApp, true)
 	})
 	return t
 }
 
 // applyXform charges the transformation cost and runs v's state
-// transformer on old, wrapping the whole transfer in a span and a
-// duration histogram when span tracing is enabled.
+// transformer on old. The transfer duration lands in the HDSUXform
+// histogram whenever a recorder is attached; the surrounding span
+// additionally requires span tracing.
 func (rt *Runtime) applyXform(task *sim.Task, old App, v *Version) (App, error) {
 	rec := rt.cfg.Rec
 	traced := rec.SpansEnabled()
 	track := "dsu:" + rt.cfg.Name
-	var start time.Duration
+	start := rt.sched.Now()
 	if traced {
-		start = rt.sched.Now()
 		rec.BeginSpan(track, "xform:"+v.Name, "state transfer")
 	}
 	rt.chargeXform(task, old, v)
 	newApp, err := v.Xform(old)
+	rec.Observe(obs.HDSUXform, rt.sched.Now()-start)
 	if traced {
-		rec.Observe(obs.HDSUXform, rt.sched.Now()-start)
 		rec.EndSpan(track, "xform:"+v.Name)
 	}
 	return newApp, err
+}
+
+// startLazySweep spawns the background migration task for a LazyXform
+// update just applied as app: it drains the cold tail in bounded
+// batches, pausing between bursts so service traffic interleaves. The
+// sweep charges batch cost like the runtime charges Xform cost —
+// in-place (Advance) normally, parallel (Sleep) in follower mode — and
+// exits when the tail is drained or the app is superseded by another
+// update. The task is not a registered app thread: it never counts
+// toward quiescence, so a queued next update is not blocked by its own
+// predecessor's cleanup.
+func (rt *Runtime) startLazySweep(app App) {
+	la, ok := app.(LazyApp)
+	if !ok {
+		return
+	}
+	batch := rt.cfg.LazySweepBatch
+	if batch <= 0 {
+		batch = 64
+	}
+	interval := rt.cfg.LazySweepInterval
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	parallel := rt.cfg.ParallelXform
+	rec := rt.cfg.Rec
+	name := fmt.Sprintf("%s/lazy-sweep@%s", rt.cfg.Name, app.Version())
+	t := rt.sched.Go(name, func(task *sim.Task) {
+		for rt.app == app && !rt.exiting {
+			n, cost := la.SweepLazy(batch)
+			if n > 0 {
+				rec.Add(obs.CDSUXformSwept, int64(n))
+				rec.SetGauge(obs.GDSUXformPending, int64(la.PendingLazy()))
+				if cost > 0 {
+					if parallel {
+						task.Sleep(cost)
+					} else {
+						task.Advance(cost)
+					}
+				}
+			}
+			if la.PendingLazy() == 0 {
+				return
+			}
+			task.Sleep(interval)
+		}
+	})
+	rt.sweeps = append(rt.sweeps, t)
 }
 
 func (rt *Runtime) chargeXform(task *sim.Task, old App, v *Version) {
@@ -348,12 +455,27 @@ func (rt *Runtime) deregister(env *Env) {
 	}
 }
 
-// KillAll kills every live application thread (follower teardown on
-// rollback). Safe to call from any task.
+// KillAll kills every live application thread and lazy-sweep task
+// (follower teardown on rollback). Safe to call from any task. Threads
+// are killed in thread-id order: Kill moves blocked tasks straight onto
+// the run queue, so killing in map-iteration order would make the
+// teardown dispatch order — and with it the whole subsequent schedule —
+// differ run to run.
 func (rt *Runtime) KillAll() {
-	for _, t := range rt.tasks {
-		t.Kill()
+	tids := make([]int, 0, len(rt.tasks))
+	for tid := range rt.tasks {
+		tids = append(tids, tid)
 	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		rt.tasks[tid].Kill()
+	}
+	for _, t := range rt.sweeps {
+		if !t.Done() {
+			t.Kill()
+		}
+	}
+	rt.sweeps = nil
 }
 
 // Tasks returns the live thread tasks, keyed by logical thread id.
@@ -398,8 +520,46 @@ func (rt *Runtime) RequestUpdate(v *Version) bool {
 	return true
 }
 
+// EnqueueUpdate requests v like RequestUpdate, but queues it behind the
+// in-flight attempt (update or barrier) instead of rejecting it: the
+// queue drains FIFO, each hop armed as its predecessor resolves. The
+// enqueue time is preserved as the hop's RequestedAt. Returns how many
+// requests are ahead of v (0 = requested immediately).
+func (rt *Runtime) EnqueueUpdate(v *Version) int {
+	if rt.RequestUpdate(v) {
+		return 0
+	}
+	rt.queue = append(rt.queue, &attempt{v: v, requestedAt: rt.sched.Now()})
+	return len(rt.queue)
+}
+
+// QueuedUpdates returns how many updates wait behind the in-flight
+// attempt.
+func (rt *Runtime) QueuedUpdates() int { return len(rt.queue) }
+
 // UpdatePending reports whether an update is waiting for quiescence.
 func (rt *Runtime) UpdatePending() bool { return rt.attempt != nil }
+
+// PendingSince returns when the in-flight attempt was requested (false
+// if nothing is pending). MVEDSUA's controller threads this through to
+// the forked follower so its update record carries the real request
+// time.
+func (rt *Runtime) PendingSince() (time.Duration, bool) {
+	if rt.attempt == nil {
+		return 0, false
+	}
+	return rt.attempt.requestedAt, true
+}
+
+// clearAttempt retires the in-flight attempt and arms the next queued
+// one, keeping its original request time.
+func (rt *Runtime) clearAttempt() {
+	rt.attempt = nil
+	if len(rt.queue) > 0 {
+		rt.attempt = rt.queue[0]
+		rt.queue = rt.queue[1:]
+	}
+}
 
 // RequestBarrier schedules fn to run once all threads have quiesced at
 // update points; the threads then continue in the current version.
@@ -459,6 +619,37 @@ func (e *Env) Go(name string, fn func(*Env)) *sim.Task {
 		fn(env)
 	})
 	return t
+}
+
+// ChargeLazyXform bills steps generations of on-access state migration,
+// costing d of virtual time, to the calling thread — the hot half of a
+// LazyXform update, called by the app just before it answers the request
+// that touched the lagging entries. The cost elapses like Xform cost
+// does (in-place normally, parallel in follower mode), the touch lands
+// in the lazy-migration counters, and in span mode an instant marks the
+// request's track so per-request latency attribution sees the charge.
+func (e *Env) ChargeLazyXform(steps int, d time.Duration) {
+	if steps <= 0 {
+		return
+	}
+	rt := e.rt
+	rec := rt.cfg.Rec
+	rec.Add(obs.CDSUXformTouched, int64(steps))
+	rec.Observe(obs.HDSUXformTouch, d)
+	if la, ok := rt.app.(LazyApp); ok {
+		rec.SetGauge(obs.GDSUXformPending, int64(la.PendingLazy()))
+	}
+	if rec.SpansEnabled() {
+		rec.InstantSpan("dsu:"+rt.cfg.Name, "xform:touch",
+			fmt.Sprintf("%d lazy migration step(s) on access", steps))
+	}
+	if d > 0 {
+		if rt.cfg.ParallelXform {
+			e.task.Sleep(d)
+		} else {
+			e.task.Advance(d)
+		}
+	}
 }
 
 // Sys issues a virtual system call on behalf of this thread. If the
@@ -534,7 +725,7 @@ func (e *Env) UpdatePoint(name string) Decision {
 				Version: att.v.Name, Outcome: OutcomeTimedOut,
 				RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
 			})
-			rt.attempt = nil
+			rt.clearAttempt()
 			rt.quiesceQ.WakeAll(rt.sched)
 			break
 		}
@@ -565,7 +756,7 @@ func (rt *Runtime) decide(e *Env, att *attempt) {
 		att.barrier(e.task)
 		att.decided = true
 		att.exit = false
-		rt.attempt = nil
+		rt.clearAttempt()
 		rt.quiesceQ.WakeAll(rt.sched)
 		return
 	}
@@ -582,7 +773,7 @@ func (rt *Runtime) decide(e *Env, att *attempt) {
 			Version: att.v.Name, Outcome: OutcomeForked,
 			RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
 		})
-		rt.attempt = nil
+		rt.clearAttempt()
 		if rt.cfg.OnAbort != nil {
 			rt.cfg.OnAbort(rt.app)
 		}
@@ -602,10 +793,13 @@ func (rt *Runtime) decide(e *Env, att *attempt) {
 			Version: att.v.Name, Outcome: OutcomeApplied,
 			RequestedAt: att.requestedAt, DecidedAt: rt.sched.Now(),
 		})
-		rt.attempt = nil
+		rt.clearAttempt()
 		// Control migration: relaunch main in the new version. The old
 		// threads unwind as they observe att.exit.
 		rt.launch(newApp, true)
+		if att.v.LazyXform {
+			rt.startLazySweep(newApp)
+		}
 	}
 	rt.quiesceQ.WakeAll(rt.sched)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
 	"mvedsua/internal/vos"
@@ -462,8 +463,430 @@ func TestStartUpdatedFromRecordsOutcome(t *testing.T) {
 
 func TestOutcomeString(t *testing.T) {
 	if OutcomeApplied.String() != "applied" || OutcomeForked.String() != "forked" ||
-		OutcomeTimedOut.String() != "timed-out" || Outcome(9).String() != "outcome(9)" {
+		OutcomeTimedOut.String() != "timed-out" || OutcomeFailed.String() != "failed" ||
+		Outcome(9).String() != "outcome(9)" {
 		t.Fatal("Outcome.String mismatch")
+	}
+}
+
+// The state-transfer histogram is plain metrics, not tracing: it must
+// record with a recorder attached even when spans are off, while the
+// span-only instruments (update-point counter, quiescence histogram)
+// stay silent.
+func TestXformHistogramRecordedWithoutSpans(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rec := obs.New(s.Now, obs.Options{}) // spans NOT enabled
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k, Rec: rec})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		rt.RequestUpdate(v2From(nil, 3*time.Millisecond))
+		ping()
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if replies[len(replies)-1] != "v2:3" {
+		t.Fatalf("replies = %v, want final v2:3", replies)
+	}
+	h := rec.Hist(obs.HDSUXform)
+	if h == nil || h.Count != 1 || h.Sum < 3*time.Millisecond {
+		t.Fatalf("xform histogram = %+v, want 1 observation >= 3ms", h)
+	}
+	// Span-gated instruments stay quiet without span tracing.
+	if got := rec.Counter(obs.CDSUUpdatePoints); got != 0 {
+		t.Fatalf("update-point counter = %d without spans, want 0", got)
+	}
+	if q := rec.Hist(obs.HDSUQuiesce); q != nil && q.Count != 0 {
+		t.Fatalf("quiesce histogram = %+v without spans, want empty", q)
+	}
+}
+
+// A follower started via StartUpdatedFromAt carries the leader-side
+// request time, so RequestedAt→DecidedAt reflects the real quiescence
+// wait instead of collapsing to zero.
+func TestForkedUpdateRecordsRealRequestTime(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	var fRT *Runtime
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{
+		Name:       "ldr",
+		Dispatcher: k,
+		TakeUpdate: func(tk *sim.Task, r *Runtime, v *Version) TakeAction {
+			reqAt, ok := r.PendingSince()
+			if !ok {
+				t.Error("PendingSince reported nothing pending inside TakeUpdate")
+			}
+			// Bogus fds: the forked follower's main exits at once, leaving
+			// only its update record behind.
+			old := &counterApp{version: "v1", listenFD: 98, connFD: 99}
+			fRT = NewRuntime(s, old, Config{Name: "flw", Dispatcher: k, ParallelXform: true})
+			fRT.StartUpdatedFromAt(old, v, reqAt)
+			return TakeAbort
+		},
+	})
+	rt.Start()
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+		}
+		ping()
+		rt.RequestUpdate(v2From(nil, 0))
+		// The server idles in read: the update waits for the next update
+		// point, 25ms away.
+		tk.Sleep(25 * time.Millisecond)
+		ping()
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fRT == nil {
+		t.Fatal("TakeUpdate never ran")
+	}
+	recs := fRT.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeApplied {
+		t.Fatalf("follower records = %+v", recs)
+	}
+	if recs[0].RequestedAt == recs[0].DecidedAt {
+		t.Fatal("RequestedAt == DecidedAt: real request time was not threaded through")
+	}
+	if gap := recs[0].DecidedAt - recs[0].RequestedAt; gap < 25*time.Millisecond {
+		t.Fatalf("request->decide gap = %v, want >= 25ms of quiescence wait", gap)
+	}
+}
+
+// A state transformation failing on a forked follower must not crash the
+// simulation: the attempt is recorded as OutcomeFailed with the error,
+// and the old version keeps the state.
+func TestForkedXformFailureRecordsOutcome(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	crashed := false
+	s.OnCrash = func(c sim.CrashInfo) { crashed = true }
+	old := &counterApp{version: "v1", listenFD: 3, connFD: 4, count: 7}
+	var seen []UpdateRecord
+	rt := NewRuntime(s, old, Config{
+		Name: "flw", Dispatcher: k, ParallelXform: true,
+		OnOutcome: func(r UpdateRecord) { seen = append(seen, r) },
+	})
+	rt.StartUpdatedFromAt(old, v2From(fmt.Errorf("uninitialized field t"), time.Millisecond), 0)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if crashed {
+		t.Fatal("failed xform crashed the follower instead of recording OutcomeFailed")
+	}
+	recs := rt.Records()
+	if len(recs) != 1 || recs[0].Outcome != OutcomeFailed {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].Err == nil || !strings.Contains(recs[0].Err.Error(), "uninitialized field") {
+		t.Fatalf("record error = %v", recs[0].Err)
+	}
+	if len(seen) != 1 || seen[0].Outcome != OutcomeFailed {
+		t.Fatalf("OnOutcome saw %+v", seen)
+	}
+	// The failed follower never took over: old app, old generation, no
+	// live threads.
+	if rt.App().Version() != "v1" || rt.Generation() != 0 {
+		t.Fatalf("app=%s gen=%d after failed xform", rt.App().Version(), rt.Generation())
+	}
+	if rt.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads = %d, want 0", rt.LiveThreads())
+	}
+}
+
+// vFrom builds a count-preserving update to an arbitrary version name
+// (the train tests chain several).
+func vFrom(name string) *Version {
+	return &Version{
+		Name: name,
+		New:  func() App { return &counterApp{version: name} },
+		Xform: func(old App) (App, error) {
+			o := old.(*counterApp)
+			return &counterApp{
+				version:  name,
+				listenFD: o.listenFD,
+				connFD:   o.connFD,
+				count:    o.count,
+			}, nil
+		},
+	}
+}
+
+// Collision semantics with a pending attempt: plain requests are
+// rejected, EnqueueUpdate queues behind it and reports the position.
+func TestRequestCollisionAndEnqueuePositions(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	if !rt.RequestUpdate(vFrom("v2")) {
+		t.Fatal("first RequestUpdate failed")
+	}
+	if rt.RequestUpdate(vFrom("v3")) {
+		t.Fatal("second RequestUpdate should be rejected while one is pending")
+	}
+	if rt.RequestBarrier(func(*sim.Task) {}) {
+		t.Fatal("RequestBarrier should be rejected while an update is pending")
+	}
+	if pos := rt.EnqueueUpdate(vFrom("v3")); pos != 1 {
+		t.Fatalf("EnqueueUpdate(v3) position = %d, want 1", pos)
+	}
+	if pos := rt.EnqueueUpdate(vFrom("v4")); pos != 2 {
+		t.Fatalf("EnqueueUpdate(v4) position = %d, want 2", pos)
+	}
+	if rt.QueuedUpdates() != 2 {
+		t.Fatalf("QueuedUpdates = %d, want 2", rt.QueuedUpdates())
+	}
+	if _, ok := rt.PendingSince(); !ok {
+		t.Fatal("PendingSince should report the armed attempt")
+	}
+}
+
+// An update train: both hops enqueued up front, drained FIFO under
+// traffic, each hop's record keeping its original request time.
+func TestUpdateTrainDrainsFIFO(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		if pos := rt.EnqueueUpdate(vFrom("v2")); pos != 0 {
+			t.Errorf("EnqueueUpdate(v2) position = %d, want 0 (immediate)", pos)
+		}
+		if pos := rt.EnqueueUpdate(vFrom("v3")); pos != 1 {
+			t.Errorf("EnqueueUpdate(v3) position = %d, want 1", pos)
+		}
+		tk.Sleep(10 * time.Millisecond)
+		ping() // v1 answers, then v2 applies and v3 is armed
+		tk.Sleep(10 * time.Millisecond)
+		ping() // v2 answers, then v3 applies
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := "1,2,v2:3,v3:4"
+	if strings.Join(replies, ",") != want {
+		t.Fatalf("replies = %v, want %s", replies, want)
+	}
+	if rt.App().Version() != "v3" || rt.Generation() != 2 {
+		t.Fatalf("app=%s gen=%d", rt.App().Version(), rt.Generation())
+	}
+	recs := rt.Records()
+	if len(recs) != 2 || recs[0].Version != "v2" || recs[1].Version != "v3" ||
+		recs[0].Outcome != OutcomeApplied || recs[1].Outcome != OutcomeApplied {
+		t.Fatalf("records = %+v", recs)
+	}
+	// v3 was enqueued at t=0 but only decided after both hops' traffic:
+	// the queue preserved its original request time.
+	if recs[1].RequestedAt != 0 {
+		t.Fatalf("v3 RequestedAt = %v, want 0 (enqueue time)", recs[1].RequestedAt)
+	}
+	if recs[1].DecidedAt <= recs[0].DecidedAt || recs[1].DecidedAt < 20*time.Millisecond {
+		t.Fatalf("decide times: v2=%v v3=%v", recs[0].DecidedAt, recs[1].DecidedAt)
+	}
+	if rt.QueuedUpdates() != 0 || rt.UpdatePending() {
+		t.Fatal("train not fully drained")
+	}
+}
+
+// A barrier in flight queues a subsequent update behind it: the barrier
+// runs first, the update applies at the following update point.
+func TestBarrierThenQueuedUpdateOrdering(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	var order []string
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{
+		Name: "ctr", Dispatcher: k,
+		OnOutcome: func(r UpdateRecord) { order = append(order, "update:"+r.Outcome.String()) },
+	})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		if !rt.RequestBarrier(func(*sim.Task) { order = append(order, "barrier") }) {
+			t.Error("RequestBarrier failed while idle")
+		}
+		if rt.RequestUpdate(vFrom("v2")) {
+			t.Error("RequestUpdate should be rejected while a barrier is pending")
+		}
+		if pos := rt.EnqueueUpdate(vFrom("v2")); pos != 1 {
+			t.Errorf("EnqueueUpdate position = %d, want 1 (behind the barrier)", pos)
+		}
+		ping() // barrier runs at this update point, v2 armed after it
+		ping() // still v1; v2 applies at this update point
+		ping() // answered by v2
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if strings.Join(replies, ",") != "1,2,3,v2:4" {
+		t.Fatalf("replies = %v", replies)
+	}
+	if strings.Join(order, ",") != "barrier,update:applied" {
+		t.Fatalf("order = %v, want barrier before the queued update", order)
+	}
+}
+
+// lazyCounterApp owes per-entry migration work after a lazy update; the
+// runtime's background sweep drains it in batches.
+type lazyCounterApp struct {
+	counterApp
+	pendingN int
+	perEntry time.Duration
+	bursts   []int
+}
+
+func (a *lazyCounterApp) Fork() App {
+	cp := *a
+	return &cp
+}
+
+func (a *lazyCounterApp) PendingLazy() int { return a.pendingN }
+
+func (a *lazyCounterApp) SweepLazy(max int) (int, time.Duration) {
+	n := max
+	if n > a.pendingN {
+		n = a.pendingN
+	}
+	a.pendingN -= n
+	if n > 0 {
+		a.bursts = append(a.bursts, n)
+	}
+	return n, time.Duration(n) * a.perEntry
+}
+
+// lazyV2 is a LazyXform update to a lazyCounterApp owing pending entries.
+func lazyV2(pending int) *Version {
+	return &Version{
+		Name: "v2",
+		New:  func() App { return &lazyCounterApp{counterApp: counterApp{version: "v2"}} },
+		Xform: func(old App) (App, error) {
+			o := old.(*counterApp)
+			return &lazyCounterApp{
+				counterApp: counterApp{
+					version:  "v2",
+					listenFD: o.listenFD,
+					connFD:   o.connFD,
+					count:    o.count,
+				},
+				pendingN: pending,
+				perEntry: time.Microsecond,
+			}, nil
+		},
+		XformCost: func(old App) time.Duration { return 50 * time.Microsecond },
+		LazyXform: true,
+	}
+}
+
+// After an in-place LazyXform update, the background sweep drains the
+// cold tail in bounded batches and the sweep counters add up.
+func TestLazySweepDrainsColdTail(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rec := obs.New(s.Now, obs.Options{})
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{
+		Name: "ctr", Dispatcher: k, Rec: rec,
+		LazySweepBatch:    10,
+		LazySweepInterval: time.Millisecond,
+	})
+	rt.Start()
+	var replies []string
+	s.Go("client", func(tk *sim.Task) {
+		fd := int(k.Invoke(tk, sysabi.Call{Op: sysabi.OpConnect, Args: [2]int64{9000, 0}}).Ret)
+		ping := func() {
+			k.Invoke(tk, sysabi.Call{Op: sysabi.OpWrite, FD: fd, Buf: []byte("ping")})
+			r := k.Invoke(tk, sysabi.Call{Op: sysabi.OpRead, FD: fd, Args: [2]int64{64, 0}})
+			replies = append(replies, string(r.Data))
+		}
+		ping()
+		rt.RequestUpdate(lazyV2(25))
+		ping() // update applies; the sweep task starts
+		tk.Sleep(5 * time.Millisecond)
+		ping()
+		k.Invoke(tk, sysabi.Call{Op: sysabi.OpClose, FD: fd})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if replies[len(replies)-1] != "v2:3" {
+		t.Fatalf("replies = %v", replies)
+	}
+	app := rt.App().(*lazyCounterApp)
+	if app.pendingN != 0 {
+		t.Fatalf("pending = %d after sweep window, want 0", app.pendingN)
+	}
+	// 25 entries, batch 10: bursts of 10, 10, 5.
+	if fmt.Sprint(app.bursts) != "[10 10 5]" {
+		t.Fatalf("sweep bursts = %v, want [10 10 5]", app.bursts)
+	}
+	if got := rec.Counter(obs.CDSUXformSwept); got != 25 {
+		t.Fatalf("swept counter = %d, want 25", got)
+	}
+	if got := rec.Gauge(obs.GDSUXformPending); got != 0 {
+		t.Fatalf("pending gauge = %d, want 0", got)
+	}
+}
+
+// ChargeLazyXform bills first-touch migration to the requesting thread:
+// counters, histogram and the service-time charge all land.
+func TestChargeLazyXformBillsRequest(t *testing.T) {
+	s := sim.New()
+	k := vos.NewKernel(s)
+	rec := obs.New(s.Now, obs.Options{})
+	rt := NewRuntime(s, &counterApp{version: "v1"}, Config{Name: "ctr", Dispatcher: k, Rec: rec})
+	var charged time.Duration
+	s.Go("driver", func(tk *sim.Task) {
+		env := rt.register(tk, false)
+		before := tk.Now()
+		env.ChargeLazyXform(2, 40*time.Microsecond)
+		charged = tk.Now() - before
+		env.ChargeLazyXform(0, time.Second) // no-op: nothing touched
+		rt.deregister(env)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if charged != 40*time.Microsecond {
+		t.Fatalf("charged service time = %v, want 40µs", charged)
+	}
+	if got := rec.Counter(obs.CDSUXformTouched); got != 2 {
+		t.Fatalf("touched counter = %d, want 2", got)
+	}
+	h := rec.Hist(obs.HDSUXformTouch)
+	if h == nil || h.Count != 1 || h.Sum != 40*time.Microsecond {
+		t.Fatalf("touch histogram = %+v, want 1 observation of 40µs", h)
 	}
 }
 

@@ -65,10 +65,21 @@ const (
 	HReqRingWait    = "request.ring_wait"    // response event's wait in the ring buffer
 	HReqValidateLag = "request.validate_lag" // drain -> follower validation of the response
 
-	// DSU runtime (span mode only).
+	// DSU runtime. The xform histogram and the lazy-migration group
+	// record whenever a recorder is attached (the golden duo runs attach
+	// none to the dsu config, so the artifacts are unchanged); the
+	// update-point counter and quiescence histogram are span mode only.
 	CDSUUpdatePoints = "dsu.update_points" // update-point hits while an update is live
 	HDSUQuiesce      = "dsu.quiesce_wait"  // update requested -> quiescence decided
 	HDSUXform        = "dsu.xform"         // state-transfer (Xform) duration per version step
+
+	// Lazy state transformation (LazyXform versions only). Touched work
+	// is charged to the request that first accesses a lagging entry;
+	// swept work is the background cold-tail sweep.
+	CDSUXformTouched = "dsu.xform.touched" // generation steps applied on first access
+	CDSUXformSwept   = "dsu.xform.swept"   // entries migrated by the background sweep
+	GDSUXformPending = "dsu.xform.pending" // entries still awaiting lazy migration
+	HDSUXformTouch   = "dsu.xform.touch"   // per-request on-access migration charge
 
 	// Virtual OS (span mode only).
 	CVOSNetBytes = "vos.net.bytes" // bytes moved through stream sockets
@@ -99,17 +110,18 @@ var CounterNames = []string{
 	CCoreTransitions, CCoreUpdates, CCoreCommits, CCoreRollbacks, CCoreRetries,
 	CFleetRespawns, CCanaryPromotions, CCanaryRollbacks,
 	CChaosFired,
-	CReqTracked, CDSUUpdatePoints, CVOSNetBytes, CVOSFSBytes,
+	CReqTracked, CDSUUpdatePoints, CDSUXformTouched, CDSUXformSwept,
+	CVOSNetBytes, CVOSFSBytes,
 	CSLORequestsOK, CSLORequestsFail, CHealthVerdicts,
 }
 
 // GaugeNames is the complete gauge vocabulary.
-var GaugeNames = []string{GRingOccupancy, GRingHighWater, GFleetVariants, GVOSOpenFDs}
+var GaugeNames = []string{GRingOccupancy, GRingHighWater, GFleetVariants, GDSUXformPending, GVOSOpenFDs}
 
 // HistogramNames is the complete histogram vocabulary.
 var HistogramNames = []string{
 	HSyscallSingle, HSyscallLeader, HRingBlockWait,
 	HReqService, HReqRingWait, HReqValidateLag,
-	HDSUQuiesce, HDSUXform,
+	HDSUQuiesce, HDSUXform, HDSUXformTouch,
 	HSLOLatency,
 }
