@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke train-smoke bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-all bench-ring experiments examples clean
+.PHONY: all build test vet fmt-check check lint-maps metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke train-smoke shard-determinism bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-all bench-ring bench-sched experiments examples clean
 
 all: check
 
@@ -20,10 +20,12 @@ fmt-check:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification: vet plus the full suite under the race detector,
-# which exercises the watchdog/monitor task interplay for data races,
-# then the benchtool metrics smoke run.
-check: vet fmt-check
+# Tier-1 verification: vet plus the full suite under the race detector
+# — which exercises the watchdog/monitor task interplay AND the sharded
+# runtime's parallel epoch paths (shards run on real OS threads; the
+# run-twice property tests execute under -race here) — then the
+# benchtool smoke runs.
+check: vet fmt-check lint-maps
 	$(GO) test -race ./...
 	$(GO) test -bench . -benchtime=1x ./internal/ringbuf/...
 	$(MAKE) metrics-smoke
@@ -32,6 +34,13 @@ check: vet fmt-check
 	$(MAKE) nvariant-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) train-smoke
+	$(MAKE) shard-determinism
+
+# Map-iteration determinism sweep: flag `for range` over maps in the
+# determinism-critical packages unless the site carries a `maporder:`
+# comment explaining why its order cannot leak into execution.
+lint-maps:
+	$(GO) test -run TestMapRangeDeterminism ./internal/detlint/
 
 # Smoke-run the flight recorder: emit a metrics report, validate it
 # against the golden schema, and require it to be bit-identical to the
@@ -45,13 +54,15 @@ metrics-smoke:
 		{ echo "BENCH_metrics.json is stale; run 'make bench-metrics' to regenerate"; rm -f .bench_metrics_smoke.json; exit 1; }
 	rm -f .bench_metrics_smoke.json
 
-# Same contract for the perf baseline: the scenarios are virtual-time
-# deterministic, so the committed BENCH_perf.json must reproduce
-# byte-for-byte (regenerate with `make bench-perf` after intentional
-# pipeline-cost changes; see docs/PERFORMANCE.md).
+# Same contract for the perf baseline, with one twist: the speedup
+# section mixes deterministic virtual-time columns with measured
+# wall-clock columns, so the comparison is semantic (`benchtool
+# -perfdiff`: deterministic fields must match exactly, wall-clock fields
+# are ignored) instead of a byte diff. Regenerate with `make bench-perf`
+# after intentional pipeline-cost changes; see docs/PERFORMANCE.md.
 perf-smoke:
 	$(GO) run ./cmd/benchtool -experiment perf -json .bench_perf_smoke.json >/dev/null
-	diff -u BENCH_perf.json .bench_perf_smoke.json || \
+	$(GO) run ./cmd/benchtool -perfdiff BENCH_perf.json .bench_perf_smoke.json || \
 		{ echo "BENCH_perf.json is stale; run 'make bench-perf' to regenerate"; rm -f .bench_perf_smoke.json; exit 1; }
 	rm -f .bench_perf_smoke.json
 
@@ -99,6 +110,18 @@ train-smoke:
 		{ echo "BENCH_train.json is stale; run 'make bench-train' to regenerate"; rm -f .bench_train_smoke.json; exit 1; }
 	rm -f .bench_train_smoke.json
 
+# Sharded-runtime determinism smoke: the sharddet experiment runs two
+# duo-update lifecycles on two parallel shards with a cross-shard
+# trigger; two full runs must serialize byte-identically. This is the
+# OS-interleaving-independence gate for the parallel runtime (the same
+# property the sim run-twice tests pin under -race above).
+shard-determinism:
+	$(GO) run ./cmd/benchtool -experiment sharddet -json .bench_sharddet_a.json >/dev/null
+	$(GO) run ./cmd/benchtool -experiment sharddet -json .bench_sharddet_b.json >/dev/null
+	diff -u .bench_sharddet_a.json .bench_sharddet_b.json || \
+		{ echo "sharded runtime is nondeterministic across runs"; rm -f .bench_sharddet_a.json .bench_sharddet_b.json; exit 1; }
+	rm -f .bench_sharddet_a.json .bench_sharddet_b.json
+
 # Regenerate the committed flight-recorder artifact.
 bench-metrics:
 	$(GO) run ./cmd/benchtool -experiment metrics -json BENCH_metrics.json >/dev/null
@@ -129,6 +152,12 @@ bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo benc
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:
 	$(GO) test -bench . -benchmem ./internal/ringbuf/
+
+# Scheduler hot-path microbenchmarks: dispatch, enqueue, timer fire,
+# plus the sharded epoch barrier and cross-shard send
+# (docs/PERFORMANCE.md "Sharded runtime").
+bench-sched:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim/
 
 # One testing.B bench per paper table/figure, plus ablations.
 bench:

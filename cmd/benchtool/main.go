@@ -13,6 +13,7 @@
 //	benchtool -experiment nvariant # N-variant fleet: quorum verdicts + canary gates
 //	benchtool -experiment slo      # availability ledger: SLO windows, MTTR, pause attribution
 //	benchtool -experiment train    # update trains: eager vs lazy state transformation
+//	benchtool -experiment sharddet # sharded runtime determinism smoke (run twice, diff)
 //	benchtool -experiment all      # everything
 //
 // benchtool -list enumerates the experiments with one-line
@@ -25,11 +26,17 @@
 //	benchtool -experiment metrics -json BENCH_metrics.json
 //	benchtool -validate BENCH_metrics.json
 //
-// The perf experiment likewise writes its report with -json; the
-// committed BENCH_perf.json is the baseline artifact that `make check`
-// diffs byte-for-byte (regenerate with `make bench-perf`):
+// The perf experiment likewise writes its report with -json. Besides
+// the virtual-cost scenario rows it sweeps the sharded runtime over
+// 1/2/4/8 shards and reports a speedup curve with both a deterministic
+// virtual-makespan column and measured wall-clock throughput. Because
+// the wall columns are runner-dependent, `make check` compares the
+// committed BENCH_perf.json with -perfdiff (semantic: deterministic
+// fields must match exactly, measured fields are ignored) instead of a
+// byte diff; regenerate with `make bench-perf`:
 //
 //	benchtool -experiment perf -json BENCH_perf.json
+//	benchtool -perfdiff BENCH_perf.json fresh.json
 //
 // The timeline experiment writes its report with -json and the traced
 // run's Chrome trace_event export (Perfetto-loadable) with -perfetto:
@@ -53,19 +60,40 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|train|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|train|sharddet|all")
 	list := flag.Bool("list", false, "list the experiments with one-line descriptions and exit")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
 	jsonOut := flag.String("json", "", "write the metrics report as JSON to this file")
 	perfettoOut := flag.String("perfetto", "", "timeline: write the Chrome trace_event export to this file")
 	validate := flag.String("validate", "", "validate a metrics-report JSON file against the golden schema and exit")
+	perfdiff := flag.Bool("perfdiff", false, "compare two perf-report JSON files (args) on deterministic fields and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("  %-10s %s\n", e.name, e.desc)
 		}
+		return
+	}
+
+	if *perfdiff {
+		args := flag.Args()
+		if len(args) != 2 {
+			fail(fmt.Errorf("-perfdiff needs exactly two report files, got %d", len(args)))
+		}
+		a, err := os.ReadFile(args[0])
+		if err != nil {
+			fail(err)
+		}
+		b, err := os.ReadFile(args[1])
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.ComparePerfReports(a, b); err != nil {
+			fail(fmt.Errorf("%s vs %s: %w", args[0], args[1], err))
+		}
+		fmt.Printf("%s and %s agree on all deterministic perf fields\n", args[0], args[1])
 		return
 	}
 
@@ -249,6 +277,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.TrainSchemaID)
 		}
 	}
+	if run("sharddet") {
+		report, err := bench.RunShardDetReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatShardDetReport(report))
+		if *jsonOut != "" && *experiment == "sharddet" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.ShardDetSchemaID)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "(completed in %.1fs wall-clock)\n", time.Since(start).Seconds())
 }
 
@@ -263,11 +309,12 @@ var experiments = []struct{ name, desc string }{
 	{"chaos", "seeded fault-injection matrix across syscalls and kinds"},
 	{"rolling", "rolling-upgrade comparison vs MVEDSUA (paper 1.1 extension)"},
 	{"metrics", "flight-recorder export -> BENCH_metrics.json"},
-	{"perf", "perf-trajectory baseline -> BENCH_perf.json"},
+	{"perf", "perf-trajectory baseline + shard speedup curve -> BENCH_perf.json"},
 	{"timeline", "span tracing + request latency attribution -> BENCH_timeline.json"},
 	{"nvariant", "N-variant fleet: quorum verdicts + canary gates -> BENCH_nvariant.json"},
 	{"slo", "availability ledger: SLO windows, MTTR, pause attribution -> BENCH_slo.json"},
 	{"train", "update trains: eager vs lazy state transformation -> BENCH_train.json"},
+	{"sharddet", "sharded-runtime determinism smoke: parallel shards, cross-shard update trigger"},
 	{"all", "every experiment above, in order"},
 }
 

@@ -1,0 +1,119 @@
+package apptest
+
+import (
+	"fmt"
+	"time"
+
+	"mvedsua/internal/core"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+	"mvedsua/internal/vos"
+)
+
+// This file is the application-level face of the sharded runtime: it
+// places whole worlds (kernel + controller + clients) on the shards of
+// a sim.ShardedScheduler, so an mve scenario can spread its variant
+// populations across simulated cores while staying bit-for-bit
+// deterministic.
+
+// NewWorldOn builds a World on an existing scheduler instead of a fresh
+// one — the shard-placement primitive. Several worlds may share one
+// scheduler (the controller chains crash handlers for exactly this);
+// each gets its own kernel, controller and — unless cfg.Recorder is set
+// — its own flight recorder bound to that scheduler's clock.
+func NewWorldOn(s *sim.Scheduler, cfg core.Config) *World {
+	k := vos.NewKernel(s)
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.New(s.Now, obs.Options{})
+	}
+	return &World{S: s, K: k, C: core.New(k, cfg), Rec: cfg.Recorder}
+}
+
+// ShardedWorld runs G connection groups — each a full World — across
+// the shards of one deterministic parallel runtime. Placement is static
+// round-robin (group g lands on shard g % N), fixed before the run, so
+// the same build is reproducible at any shard count.
+type ShardedWorld struct {
+	SS     *sim.ShardedScheduler
+	Worlds []*World
+}
+
+// NewShardedWorld builds `groups` worlds over `shards` shards with the
+// given epoch quantum (<= 0 selects sim.DefaultQuantum). mkcfg supplies
+// each group's controller config; when it leaves Scope empty the group
+// is scoped to its shard ("shard0", "shard1", …), so per-shard metric
+// ledgers fall out of the controller's scoped counters without the
+// scenario doing anything.
+func NewShardedWorld(shards, groups int, quantum time.Duration, mkcfg func(group int) core.Config) *ShardedWorld {
+	ss := sim.NewSharded(shards, quantum)
+	sw := &ShardedWorld{SS: ss}
+	for g := 0; g < groups; g++ {
+		cfg := mkcfg(g)
+		shard := g % ss.Shards()
+		if cfg.Scope == "" {
+			cfg.Scope = fmt.Sprintf("shard%d", shard)
+		}
+		sw.Worlds = append(sw.Worlds, NewWorldOn(ss.Shard(shard), cfg))
+	}
+	return sw
+}
+
+// ShardOf returns the shard a group was placed on.
+func (sw *ShardedWorld) ShardOf(group int) int { return group % sw.SS.Shards() }
+
+// Finish marks every group's scenario complete from task tk. Groups on
+// tk's own shard flip directly; every other group is finished via a
+// cross-shard message, never a shared flag — a bool written on one
+// shard and polled on another would reintroduce the OS-interleaving
+// nondeterminism the barrier exists to exclude. Completion therefore
+// lands on remote shards within one quantum, at a deterministic virtual
+// time.
+func (sw *ShardedWorld) Finish(tk *sim.Task) {
+	for g, w := range sw.Worlds {
+		w := w
+		if sw.ShardOf(g) == tk.Scheduler().ShardID() {
+			w.Finish()
+		} else {
+			sw.SS.Send(tk, sw.ShardOf(g), "apptest/finish", func(*sim.Task) { w.Finish() })
+		}
+	}
+}
+
+// Run executes all groups until each has been finished (or the hard
+// virtual-time limit), installing the same teardown task World.Run
+// uses, one per group, then drives the sharded runtime to drain.
+func (sw *ShardedWorld) Run(maxVirtual time.Duration) error {
+	if maxVirtual <= 0 {
+		maxVirtual = time.Hour
+	}
+	for g, w := range sw.Worlds {
+		w := w
+		w.S.Go(fmt.Sprintf("apptest/teardown%d", g), func(tk *sim.Task) {
+			deadline := tk.Now() + maxVirtual
+			for !w.done && tk.Now() < deadline {
+				tk.Sleep(20 * time.Millisecond)
+			}
+			if rt := w.C.FollowerRuntime(); rt != nil {
+				rt.KillAll()
+			}
+			w.C.Monitor().DropFollower()
+			if rt := w.C.LeaderRuntime(); rt != nil {
+				rt.KillAll()
+			}
+		})
+	}
+	return sw.SS.Run()
+}
+
+// MergedMetrics folds every group's root registry into one aggregate,
+// in group order. The merge algebra (counters sum, gauges max,
+// histograms widen) is commutative and associative, so the aggregate is
+// identical at any shard count for the same workload — the property the
+// perf experiment's TotalOps/Syscalls invariants lean on.
+func (sw *ShardedWorld) MergedMetrics() *obs.Registry {
+	dst := obs.NewRegistry("merged")
+	for _, w := range sw.Worlds {
+		w.Rec.Root().MergeInto(dst)
+	}
+	return dst
+}

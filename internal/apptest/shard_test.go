@@ -1,0 +1,117 @@
+package apptest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mvedsua/internal/core"
+	"mvedsua/internal/sim"
+)
+
+// buildEchoGroups places `groups` echo-server worlds over `shards`
+// shards and starts one client per group doing `ops` echo round trips.
+// Each client finishes its own world when done (shard-local, no
+// cross-shard coordination needed), and per-group replies land in
+// replies — indexed by group, written only from that group's shard.
+func buildEchoGroups(shards, groups, ops int) (*ShardedWorld, []int) {
+	replies := make([]int, groups)
+	sw := NewShardedWorld(shards, groups, time.Millisecond, func(int) core.Config {
+		return core.Config{}
+	})
+	for g, w := range sw.Worlds {
+		g, w := g, w
+		w.C.Start(&echoServer{})
+		w.S.Go(fmt.Sprintf("client%d", g), func(tk *sim.Task) {
+			defer w.Finish()
+			c := Connect(w.K, tk, 4242)
+			defer c.Close(tk)
+			for i := 0; i < ops; i++ {
+				if c.Do(tk, fmt.Sprintf("g%d-op%d", g, i)) != "" {
+					replies[g]++
+				}
+			}
+		})
+	}
+	return sw, replies
+}
+
+func TestShardedWorldEchoAcrossShards(t *testing.T) {
+	const groups, ops = 4, 16
+	sw, replies := buildEchoGroups(2, groups, ops)
+	if err := sw.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for g, n := range replies {
+		if n != ops {
+			t.Errorf("group %d: %d/%d replies", g, n, ops)
+		}
+	}
+	// Placement is round-robin and scoping defaults to the shard label.
+	for g, w := range sw.Worlds {
+		if want := g % 2; sw.ShardOf(g) != want {
+			t.Errorf("ShardOf(%d) = %d, want %d", g, sw.ShardOf(g), want)
+		}
+		kids := w.Rec.Children()
+		if len(kids) != 1 || kids[0].Scope() != fmt.Sprintf("shard%d", g%2) {
+			t.Errorf("group %d scoped registries = %v", g, kids)
+		}
+	}
+}
+
+// The merged aggregate must be identical at any shard count: same
+// groups, same workload, only the placement changes.
+func TestShardedWorldMergeInvariantAcrossShardCounts(t *testing.T) {
+	const groups, ops = 4, 12
+	var base map[string]int64
+	for _, shards := range []int{1, 2, 4} {
+		sw, _ := buildEchoGroups(shards, groups, ops)
+		if err := sw.Run(time.Hour); err != nil {
+			t.Fatalf("shards=%d Run: %v", shards, err)
+		}
+		got := sw.MergedMetrics().Snapshot().Counters
+		if base == nil {
+			base = got
+			if len(base) == 0 {
+				t.Fatal("merged registry recorded no counters")
+			}
+			continue
+		}
+		if len(got) != len(base) {
+			t.Fatalf("shards=%d merged counter set %v, want %v", shards, got, base)
+		}
+		for k, v := range base {
+			if got[k] != v {
+				t.Errorf("shards=%d merged %s = %d, want %d", shards, k, got[k], v)
+			}
+		}
+	}
+}
+
+// Finish from a coordinator task reaches remote shards via cross-shard
+// messages within one quantum, so a run with no per-group finishers
+// still drains.
+func TestShardedWorldFinishCrossShard(t *testing.T) {
+	sw := NewShardedWorld(2, 4, time.Millisecond, func(int) core.Config {
+		return core.Config{}
+	})
+	for _, w := range sw.Worlds {
+		w.C.Start(&echoServer{})
+	}
+	sw.SS.Go(0, "coordinator", func(tk *sim.Task) {
+		tk.Sleep(5 * time.Millisecond)
+		sw.Finish(tk)
+	})
+	start := time.Now()
+	if err := sw.Run(time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("Run took implausibly long in wall-clock time")
+	}
+	for g, w := range sw.Worlds {
+		if !w.Done() {
+			t.Errorf("group %d never finished", g)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"strings"
 	"time"
 
@@ -54,10 +56,15 @@ type PerfScenario struct {
 	DispatchesPer1kSyscalls int64 `json:"dispatches_per_1k_syscalls"`
 }
 
-// PerfReport is the serialized artifact (BENCH_perf.json).
+// PerfReport is the serialized artifact (BENCH_perf.json). Scenarios
+// are fully deterministic (virtual-time quantities only); Speedup mixes
+// deterministic workload accounting with measured wall-clock columns,
+// which is why the perf smoke compares artifacts with ComparePerfReports
+// instead of a byte diff.
 type PerfReport struct {
 	Schema    string         `json:"schema"`
 	Scenarios []PerfScenario `json:"scenarios"`
+	Speedup   *SpeedupCurve  `json:"speedup,omitempty"`
 }
 
 // perfWarmup/perfWindow size each scenario run. Short on purpose: the
@@ -97,7 +104,51 @@ func RunPerfReport() (*PerfReport, error) {
 		}
 		report.Scenarios = append(report.Scenarios, res)
 	}
+	curve, err := RunSpeedupCurve()
+	if err != nil {
+		return nil, fmt.Errorf("perf speedup sweep: %w", err)
+	}
+	report.Speedup = curve
 	return report, nil
+}
+
+// ComparePerfReports checks two serialized perf reports for semantic
+// equality: schema, every scenario field, and the speedup sweep's
+// deterministic columns must match exactly, while the measured
+// wall-clock fields (WallMS, WallOpsPerSec, SpeedupX, MaxProcs) are
+// ignored — they differ run to run and machine to machine by design.
+// This is what `make perf-smoke` runs against the committed artifact.
+func ComparePerfReports(a, b []byte) error {
+	parse := func(data []byte) (*PerfReport, error) {
+		var r PerfReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		if r.Speedup != nil {
+			r.Speedup.MaxProcs = 0
+			for i := range r.Speedup.Points {
+				p := &r.Speedup.Points[i]
+				p.WallMS, p.WallOpsPerSec, p.SpeedupX = 0, 0, 0
+			}
+		}
+		return &r, nil
+	}
+	ra, err := parse(a)
+	if err != nil {
+		return fmt.Errorf("first report: %w", err)
+	}
+	rb, err := parse(b)
+	if err != nil {
+		return fmt.Errorf("second report: %w", err)
+	}
+	if reflect.DeepEqual(ra, rb) {
+		return nil
+	}
+	// Re-serialize the stripped reports so the failure shows exactly the
+	// deterministic content that diverged.
+	ja, _ := json.MarshalIndent(ra, "", "  ")
+	jb, _ := json.MarshalIndent(rb, "", "  ")
+	return fmt.Errorf("perf reports differ on deterministic fields:\n--- first\n%s\n--- second\n%s", ja, jb)
 }
 
 // perfCounterNames are the window-delta counters each scenario samples.
@@ -172,5 +223,9 @@ func FormatPerfReport(r *PerfReport) string {
 			s.RingPuts, s.RingGets, s.RingBlocked, s.Dispatches, s.DispatchesPer1kSyscalls)
 	}
 	b.WriteString("  (window deltas; see docs/PERFORMANCE.md for how to read and regenerate)\n")
+	if r.Speedup != nil {
+		b.WriteString("\n")
+		b.WriteString(FormatSpeedupCurve(r.Speedup))
+	}
 	return b.String()
 }

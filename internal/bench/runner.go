@@ -11,6 +11,7 @@ import (
 	"mvedsua/internal/core"
 	"mvedsua/internal/dsu"
 	"mvedsua/internal/mve"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/vos"
 )
@@ -125,9 +126,30 @@ type world struct {
 	stop    bool
 }
 
-// build wires a target in the given mode and starts the server.
+// buildOpts carries the optional observation wiring for a world.
+type buildOpts struct {
+	// rec, if non-nil, is attached to the monitor (MVE modes) or the
+	// controller config (MVEDSUA modes), so per-world recorders can
+	// coexist on a shared scheduler — one ledger per connection group.
+	rec *obs.Recorder
+	// scope labels the controller's scoped lifecycle registry
+	// (core.Config.Scope); empty disables scoping. MVE-only modes have
+	// no controller, so scope is meaningful only with rec in a MVEDSUA
+	// mode.
+	scope string
+}
+
+// build wires a target in the given mode and starts the server on a
+// fresh scheduler.
 func build(target Target, mode Mode, bufCap int) *world {
-	s := sim.New()
+	return buildOn(sim.New(), target, mode, bufCap, buildOpts{})
+}
+
+// buildOn wires a target on an existing scheduler — the shard-placement
+// variant of build. Several worlds may share one scheduler (each gets
+// its own kernel, so ports never collide); placing each on a shard of a
+// sim.ShardedScheduler is what the speedup sweep does.
+func buildOn(s *sim.Scheduler, target Target, mode Mode, bufCap int, opts buildOpts) *world {
 	k := vos.NewKernel(s)
 	k.BaseCost = KernelCost
 	if target.Setup != nil {
@@ -149,6 +171,7 @@ func build(target Target, mode Mode, bufCap int) *world {
 		w.leader.Start()
 	case ModeVaran1:
 		w.mon = mve.New(k, bufCap, MVECosts(mode))
+		w.mon.SetRecorder(opts.rec)
 		proc := w.mon.StartSingleLeader("v0")
 		dsuCfg.Name = "leader"
 		dsuCfg.Dispatcher = proc
@@ -158,6 +181,7 @@ func build(target Target, mode Mode, bufCap int) *world {
 		// Mx-style: two identical versions from the start; the follower
 		// replays the leader's entire execution.
 		w.mon = mve.New(k, bufCap, MVECosts(mode))
+		w.mon.SetRecorder(opts.rec)
 		w.mon.Lockstep = mode == ModeLockstep
 		lproc := w.mon.StartSingleLeader("v0")
 		fproc := w.mon.AttachFollower("v0-follower", nil)
@@ -175,6 +199,8 @@ func build(target Target, mode Mode, bufCap int) *world {
 			BufferEntries: bufCap,
 			Costs:         MVECosts(mode),
 			DSU:           dsuCfg,
+			Recorder:      opts.rec,
+			Scope:         opts.scope,
 		})
 		w.ctl.Start(app)
 	}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"mvedsua/internal/apps/kvstore"
+	"mvedsua/internal/apptest"
+	"mvedsua/internal/core"
+	"mvedsua/internal/obs"
+	"mvedsua/internal/sim"
+)
+
+// This file is the sharded-runtime side of the perf experiment: a
+// strong-scaling speedup sweep over sim.ShardedScheduler (the curve in
+// BENCH_perf.json's "speedup" section) and the `benchtool -experiment
+// sharddet` determinism smoke that `make check` runs twice and
+// byte-diffs.
+
+// SpeedupPoint is one shard count's measurement of the fixed workload.
+// The deterministic fields depend only on virtual time and seeds — two
+// runs at the same shard count produce identical values on any machine,
+// which the run-twice tests and benchtool -perfdiff pin. TotalOps is
+// additionally shard-count invariant (every sweep point executes the
+// same bounded workload). VirtualUS is not: a shard is a simulated
+// core, its clock advances only for its own groups' work, so the
+// virtual makespan shrinks as the fixed workload spreads over more
+// shards — VirtualSpeedupX is that ratio, a speedup curve that is
+// bit-reproducible even on a single-core runner. The measured fields
+// (WallMS, WallOpsPerSec, SpeedupX) are wall-clock readings of the
+// runner and are excluded from artifact comparison.
+type SpeedupPoint struct {
+	Shards int `json:"shards"`
+
+	// Deterministic workload accounting.
+	TotalOps        int64   `json:"total_ops"`
+	Syscalls        int64   `json:"syscalls"`
+	Dispatches      int64   `json:"dispatches"`
+	VirtualUS       int64   `json:"virtual_us"`
+	VirtualSpeedupX float64 `json:"virtual_speedup_x"`
+
+	// Measured wall-clock results (runner-dependent).
+	WallMS        float64 `json:"wall_ms"`
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+	SpeedupX      float64 `json:"speedup_x"`
+}
+
+// SpeedupCurve is the sweep: the same G-group workload executed at
+// increasing shard counts, with shard 1 as the baseline for both
+// speedup columns.
+type SpeedupCurve struct {
+	Groups          int   `json:"groups"`
+	ClientsPerGroup int   `json:"clients_per_group"`
+	OpsPerClient    int   `json:"ops_per_client"`
+	QuantumUS       int64 `json:"quantum_us"`
+	// MaxProcs records the runner's GOMAXPROCS — measured context, not
+	// part of the deterministic contract. On a single-core runner the
+	// speedup column is flat at ~1x; regenerate on a multi-core machine
+	// to see the curve.
+	MaxProcs int            `json:"maxprocs"`
+	Points   []SpeedupPoint `json:"points"`
+}
+
+// Speedup sweep sizing: 8 groups so the 8-shard point places exactly
+// one group per shard, and a bounded per-client op count so every shard
+// count executes the identical total workload (strong scaling).
+const (
+	speedupGroups   = 8
+	speedupClients  = 2
+	speedupOps      = 150
+	speedupQuantum  = time.Millisecond
+	speedupShardMax = 8
+)
+
+// RunSpeedupCurve measures the fixed workload at 1, 2, 4 and 8 shards.
+func RunSpeedupCurve() (*SpeedupCurve, error) {
+	curve := &SpeedupCurve{
+		Groups:          speedupGroups,
+		ClientsPerGroup: speedupClients,
+		OpsPerClient:    speedupOps,
+		QuantumUS:       int64(speedupQuantum / time.Microsecond),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+	}
+	for shards := 1; shards <= speedupShardMax; shards *= 2 {
+		p, err := runSpeedupPoint(shards)
+		if err != nil {
+			return nil, fmt.Errorf("speedup point shards=%d: %w", shards, err)
+		}
+		if len(curve.Points) > 0 {
+			base := curve.Points[0]
+			if base.WallMS > 0 && p.WallMS > 0 {
+				p.SpeedupX = base.WallMS / p.WallMS
+			}
+			if base.VirtualUS > 0 && p.VirtualUS > 0 {
+				p.VirtualSpeedupX = float64(base.VirtualUS) / float64(p.VirtualUS)
+			}
+		} else {
+			p.SpeedupX = 1
+			p.VirtualSpeedupX = 1
+		}
+		curve.Points = append(curve.Points, p)
+	}
+	return curve, nil
+}
+
+// runSpeedupPoint executes the fixed workload at one shard count:
+// speedupGroups record/replay-duo kvstore worlds placed round-robin on
+// the shards, each loaded by bounded closed-loop clients. Groups never
+// interact, so the sweep measures pure shard-parallel throughput; the
+// deterministic fields must come out identical at every shard count.
+func runSpeedupPoint(shards int) (SpeedupPoint, error) {
+	ss := sim.NewSharded(shards, speedupQuantum)
+	target := RedisTarget()
+
+	type group struct {
+		w    *world
+		rec  *obs.Recorder
+		m    *Metrics
+		left int
+	}
+	groups := make([]*group, speedupGroups)
+	for g := 0; g < speedupGroups; g++ {
+		g := g
+		s := ss.Shard(g % shards)
+		rec := obs.New(s.Now, obs.Options{})
+		gr := &group{rec: rec, m: NewMetrics(0), left: speedupClients}
+		gr.w = buildOn(s, target, ModeVaran2, 256, buildOpts{rec: rec})
+		groups[g] = gr
+		for i := 0; i < speedupClients; i++ {
+			i := i
+			t := s.Go(fmt.Sprintf("g%d-client%d", g, i), func(tk *sim.Task) {
+				defer func() { gr.left-- }()
+				KVWorkload{
+					Port:   kvstore.Port,
+					Flavor: FlavorRESP,
+					Seed:   int64(1000*g + i),
+					MaxOps: speedupOps,
+				}.Run(gr.w.k, tk, gr.m, &gr.w.stop)
+			})
+			gr.w.clients = append(gr.w.clients, t)
+		}
+		s.Go(fmt.Sprintf("g%d-driver", g), func(tk *sim.Task) {
+			// left is only touched from this shard's scheduler, so the
+			// poll is shard-local state, not cross-thread sharing.
+			for gr.left > 0 {
+				tk.Sleep(time.Millisecond)
+			}
+			gr.w.teardown()
+		})
+	}
+
+	start := time.Now()
+	err := ss.Run()
+	wall := time.Since(start)
+	if err != nil {
+		return SpeedupPoint{}, err
+	}
+
+	p := SpeedupPoint{
+		Shards:     shards,
+		Dispatches: ss.Dispatches(),
+		VirtualUS:  int64(ss.Now() / time.Microsecond),
+		WallMS:     float64(wall.Microseconds()) / 1000,
+	}
+	merged := obs.NewRegistry("speedup")
+	for _, gr := range groups {
+		p.TotalOps += gr.m.Ops
+		gr.rec.Root().MergeInto(merged)
+	}
+	p.Syscalls = merged.Counter(obs.CSyscallsSingle) +
+		merged.Counter(obs.CSyscallsLeader) +
+		merged.Counter(obs.CSyscallsFollower)
+	if wall > 0 {
+		p.WallOpsPerSec = float64(p.TotalOps) / wall.Seconds()
+	}
+	return p, nil
+}
+
+// ShardDetSchemaID names the sharded-determinism report format.
+const ShardDetSchemaID = "mvedsua-sharddet/v1"
+
+// ShardDetGroup is one connection group's outcome in the determinism
+// smoke: its placement, final stage, scoped lifecycle counters, and
+// milestone timeline.
+type ShardDetGroup struct {
+	Group    int      `json:"group"`
+	Shard    int      `json:"shard"`
+	Scope    string   `json:"scope"`
+	Outcome  string   `json:"outcome"`
+	Updates  int64    `json:"updates"`
+	Commits  int64    `json:"commits"`
+	Timeline []string `json:"timeline"`
+}
+
+// ShardDetReport is the `benchtool -experiment sharddet` artifact. It
+// exercises every determinism-critical path at once — parallel shards,
+// a cross-shard Send steering a remote update, scoped registries merged
+// into one aggregate, and the merged scheduling trace — and is
+// byte-identical across runs; `make check` runs it twice and diffs.
+type ShardDetReport struct {
+	Schema     string          `json:"schema"`
+	Shards     int             `json:"shards"`
+	QuantumUS  int64           `json:"quantum_us"`
+	VirtualMS  int64           `json:"virtual_ms"`
+	Dispatches int64           `json:"dispatches"`
+	Groups     []ShardDetGroup `json:"groups"`
+	Merged     obs.Snapshot    `json:"merged_metrics"`
+	TraceTail  []string        `json:"trace_tail"`
+}
+
+// RunShardDetReport runs two kvstore duo-update lifecycles on two
+// shards. Group 0 drives its own update to commit, then triggers group
+// 1's update with a cross-shard message — the remote lifecycle starts
+// at a deterministic virtual time sequenced by the epoch barrier, never
+// by OS thread interleaving.
+func RunShardDetReport() (*ShardDetReport, error) {
+	const shards, groups = 2, 2
+	sw := apptest.NewShardedWorld(shards, groups, sim.DefaultQuantum, func(int) core.Config {
+		return core.Config{}
+	})
+	sw.SS.SetTracing(true)
+	sw.SS.SetTraceCapacity(64)
+
+	for _, w := range sw.Worlds {
+		srv := kvstore.New(kvstore.SpecFor("2.0.0", false))
+		srv.CmdCPU = KVStoreCmdCPU
+		w.C.Start(srv)
+	}
+
+	lifecycle := func(w *apptest.World, tk *sim.Task, c *apptest.Client) {
+		incr := func(n int) {
+			for i := 0; i < n; i++ {
+				c.Do(tk, "INCR counter")
+				tk.Sleep(10 * time.Millisecond)
+			}
+		}
+		incr(3)
+		w.C.Update(kvstore.Update("2.0.0", "2.0.1", kvstore.UpdateOpts{}))
+		incr(5)
+		w.C.Promote()
+		incr(5)
+		w.C.Commit()
+		incr(2)
+	}
+
+	// Group 1 waits for the cross-shard trigger; the flag is only ever
+	// touched from shard 1's scheduler.
+	var triggered bool
+	w1 := sw.Worlds[1]
+	w1.S.Go("g1-driver", func(tk *sim.Task) {
+		defer w1.Finish()
+		c := apptest.Connect(w1.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		for !triggered {
+			c.Do(tk, "INCR warm")
+			tk.Sleep(10 * time.Millisecond)
+		}
+		lifecycle(w1, tk, c)
+	})
+
+	w0 := sw.Worlds[0]
+	w0.S.Go("g0-driver", func(tk *sim.Task) {
+		defer w0.Finish()
+		c := apptest.Connect(w0.K, tk, kvstore.Port)
+		defer c.Close(tk)
+		lifecycle(w0, tk, c)
+		sw.SS.Send(tk, 1, "g0-trigger", func(*sim.Task) { triggered = true })
+	})
+
+	if err := sw.Run(time.Hour); err != nil {
+		return nil, err
+	}
+
+	report := &ShardDetReport{
+		Schema:     ShardDetSchemaID,
+		Shards:     shards,
+		QuantumUS:  int64(sw.SS.Quantum() / time.Microsecond),
+		VirtualMS:  int64(sw.SS.Now() / time.Millisecond),
+		Dispatches: sw.SS.Dispatches(),
+		Merged:     sw.MergedMetrics().Snapshot(),
+		TraceTail:  sw.SS.MergedTrace(),
+	}
+	for g, w := range sw.Worlds {
+		scope := fmt.Sprintf("shard%d", sw.ShardOf(g))
+		reg := w.Rec.Child(scope)
+		gr := ShardDetGroup{
+			Group:   g,
+			Shard:   sw.ShardOf(g),
+			Scope:   scope,
+			Outcome: fmt.Sprintf("%v leader=%s", w.C.Stage(), w.C.LeaderRuntime().App().Version()),
+			Updates: reg.Counter(obs.CCoreUpdates),
+			Commits: reg.Counter(obs.CCoreCommits),
+		}
+		for _, e := range w.Rec.Milestones() {
+			gr.Timeline = append(gr.Timeline, e.String())
+		}
+		report.Groups = append(report.Groups, gr)
+	}
+	return report, nil
+}
+
+// FormatSpeedupCurve renders the sweep as text.
+func FormatSpeedupCurve(c *SpeedupCurve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard speedup sweep: %d groups x %d clients x %d ops, quantum %dus, GOMAXPROCS=%d\n",
+		c.Groups, c.ClientsPerGroup, c.OpsPerClient, c.QuantumUS, c.MaxProcs)
+	b.WriteString("  Shards  TotalOps  Syscalls  Dispatches  Virtual-us  V-speedup    Wall-ms   Ops/wall-sec  Speedup\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "  %6d  %8d  %8d  %10d  %10d  %8.2fx  %9.1f  %13.0f  %6.2fx\n",
+			p.Shards, p.TotalOps, p.Syscalls, p.Dispatches, p.VirtualUS,
+			p.VirtualSpeedupX, p.WallMS, p.WallOpsPerSec, p.SpeedupX)
+	}
+	b.WriteString("  (virtual columns are deterministic; wall columns depend on the runner's cores)\n")
+	return b.String()
+}
+
+// FormatShardDetReport renders the determinism smoke for the terminal.
+func FormatShardDetReport(r *ShardDetReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded determinism smoke (%s): %d shards, quantum %dus, %dms virtual, %d dispatches\n",
+		r.Schema, r.Shards, r.QuantumUS, r.VirtualMS, r.Dispatches)
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  group %d on shard %d (%s): %s  updates=%d commits=%d\n",
+			g.Group, g.Shard, g.Scope, g.Outcome, g.Updates, g.Commits)
+		for _, line := range g.Timeline {
+			b.WriteString("    " + line + "\n")
+		}
+	}
+	fmt.Fprintf(&b, "  merged trace tail: %d entries\n", len(r.TraceTail))
+	return b.String()
+}

@@ -99,10 +99,15 @@ type KVWorkload struct {
 	ReadPct  int
 	ValueLen int
 	Seed     int64
+	// MaxOps, when positive, bounds the run to that many operations —
+	// the fixed-work (strong-scaling) shape the shard speedup sweep
+	// needs, where every shard count must execute the same total load.
+	// Zero keeps the closed-loop run-until-stopped behavior.
+	MaxOps int
 }
 
-// Run drives the workload inside a sim task until *stop, recording into
-// metrics.
+// Run drives the workload inside a sim task until *stop (or MaxOps
+// operations, when bounded), recording into metrics.
 func (wl KVWorkload) Run(k *vos.Kernel, tk *sim.Task, m *Metrics, stop *bool) {
 	keys := wl.Keys
 	if keys <= 0 {
@@ -120,7 +125,7 @@ func (wl KVWorkload) Run(k *vos.Kernel, tk *sim.Task, m *Metrics, stop *bool) {
 	value := strings.Repeat("x", vlen)
 	c := apptest.Connect(k, tk, wl.Port)
 	defer c.Close(tk)
-	for !*stop {
+	for n := 0; !*stop && (wl.MaxOps <= 0 || n < wl.MaxOps); n++ {
 		key := fmt.Sprintf("memtier-%08d", rng.Intn(keys))
 		start := tk.Now()
 		if rng.Intn(100) < readPct {

@@ -115,6 +115,14 @@ type Config struct {
 	// metrics and trace events into. Nil disables observation at the
 	// cost of one pointer check per instrumented operation.
 	Recorder *obs.Recorder
+	// Scope, if non-empty, additionally mirrors the controller's
+	// lifecycle counters (transitions, updates, commits, rollbacks,
+	// retries) into Recorder.Child(Scope). The sharded runtime places
+	// one controller per connection group and labels each with its
+	// shard ("shard0", "shard1", …), so per-shard ledgers can be
+	// reported next to the obs.Registry.MergeInto aggregate. Empty —
+	// the default, and every golden run — records nothing extra.
+	Scope string
 }
 
 // validate panics on configurations that cannot mean what the caller
@@ -164,6 +172,7 @@ type Controller struct {
 
 	timeline []Event
 	rec      *obs.Recorder
+	scope    *obs.Registry // Config.Scope child; nil when unscoped
 	health   *HealthEngine // follower-liveness rules behind the watchdog
 
 	// Open async spans (span mode only): the current stage's arc on the
@@ -199,6 +208,9 @@ func New(kernel *vos.Kernel, cfg Config) *Controller {
 		mon:    mve.New(kernel, cfg.BufferEntries, cfg.Costs),
 		stage:  StageSingleLeader,
 		rec:    cfg.Recorder,
+	}
+	if cfg.Scope != "" {
+		c.scope = cfg.Recorder.Child(cfg.Scope)
 	}
 	c.mon.SetRecorder(cfg.Recorder)
 	c.mon.Lockstep = cfg.Lockstep
@@ -260,6 +272,7 @@ func (c *Controller) transition(stage Stage, note string) {
 	ev := Event{At: c.sched.Now(), Stage: stage, Note: note}
 	c.timeline = append(c.timeline, ev)
 	c.rec.Inc(obs.CCoreTransitions)
+	c.scope.Inc(obs.CCoreTransitions)
 	c.rec.Emit(obs.KindStage, stage.String(), note)
 	if c.rec.SpansEnabled() {
 		// Roll the Figure 2 stage machine's async arc over to the new
@@ -330,6 +343,7 @@ func (c *Controller) Update(v *dsu.Version) bool {
 	c.pending = v
 	c.retries = 0
 	c.rec.Inc(obs.CCoreUpdates)
+	c.scope.Inc(obs.CCoreUpdates)
 	return c.leaderRT.RequestUpdate(v)
 }
 
@@ -363,6 +377,7 @@ func (c *Controller) armNext() {
 	c.pending = v
 	c.retries = 0
 	c.rec.Inc(obs.CCoreUpdates)
+	c.scope.Inc(obs.CCoreUpdates)
 	c.transition(c.stage, fmt.Sprintf("train: requesting %s (%d more queued)", v.Name, len(c.queued)))
 	c.leaderRT.RequestUpdate(v)
 }
@@ -459,6 +474,7 @@ func (c *Controller) retryDelay(n int) time.Duration {
 func (c *Controller) scheduleRetry(v *dsu.Version, n int, why string) {
 	delay := c.retryDelay(n)
 	c.rec.Inc(obs.CCoreRetries)
+	c.scope.Inc(obs.CCoreRetries)
 	c.rec.Emitf(obs.KindRetry, v.Name, "%s; retry %d scheduled with %v backoff", why, n, delay)
 	c.transition(c.stage, fmt.Sprintf("%s; retry %d of %s in %v", why, n, v.Name, delay))
 	c.sched.Go(fmt.Sprintf("retry%d@%s", n, v.Name), func(t *sim.Task) {
@@ -529,6 +545,7 @@ func (c *Controller) Commit() bool {
 	c.otherRT = nil
 	c.pending = nil
 	c.rec.Inc(obs.CCoreCommits)
+	c.scope.Inc(obs.CCoreCommits)
 	// The promoted runtime now leads: future updates must fork again.
 	c.leaderRT.SetUpdateHooks(c.takeUpdate, c.updateOutcome, false)
 	c.transition(StageSingleLeader, "update committed")
@@ -552,6 +569,7 @@ func (c *Controller) Rollback(reason string) bool {
 	v := c.pending
 	c.pending = nil
 	c.rec.Inc(obs.CCoreRollbacks)
+	c.scope.Inc(obs.CCoreRollbacks)
 	c.endUpdateSpan()
 	c.transition(StageSingleLeader, "rolled back: "+reason)
 	flushed := "rollback"

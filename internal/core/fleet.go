@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mvedsua/internal/dsu"
@@ -420,7 +421,7 @@ func (fc *FleetController) Shutdown() {
 	for _, p := range fc.mon.Variants() {
 		fc.mon.EjectVariant(p, "shutdown")
 	}
-	for _, fv := range fc.live {
+	for _, fv := range sortedVars(fc.live) {
 		if fv.rt != nil {
 			fv.rt.KillAll()
 		}
@@ -429,6 +430,24 @@ func (fc *FleetController) Shutdown() {
 	if fc.leaderRT != nil {
 		fc.leaderRT.KillAll()
 	}
+}
+
+// sortedVars returns a variant map's values in name order. Kill moves
+// blocked tasks straight onto the run queue, so any loop that kills
+// runtimes must iterate deterministically — killing in map-iteration
+// order would make the post-teardown dispatch order differ run to run
+// (the same discipline as dsu.Runtime.KillAll).
+func sortedVars(m map[string]*fleetVar) []*fleetVar {
+	names := make([]string, 0, len(m))
+	for name := range m { // maporder: ok — names are sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*fleetVar, 0, len(names))
+	for _, name := range names {
+		out = append(out, m[name])
+	}
+	return out
 }
 
 // applyVerdict is the monitor's divergence-verdict hook and the shared
@@ -476,7 +495,7 @@ func (fc *FleetController) ejectAndQueue(v mve.Verdict) {
 // abortFleet tears the fleet down after a majority verdict: the leader
 // keeps serving solo; nothing is respawned.
 func (fc *FleetController) abortFleet(v mve.Verdict) {
-	for _, fv := range fc.live {
+	for _, fv := range sortedVars(fc.live) {
 		if fv.rt != nil {
 			fv.rt.KillAll()
 		}
@@ -555,7 +574,7 @@ func (fc *FleetController) handlePromoted(newLeader *mve.Proc) {
 	fc.rec.Inc(obs.CCoreCommits)
 	fc.transition(FleetSteady, newLeader.Name()+" promoted; respawning fleet")
 	fc.sched.Go("reap-retired", func(t *sim.Task) {
-		for _, sv := range stale {
+		for _, sv := range sortedVars(stale) {
 			if sv.rt != nil {
 				sv.rt.KillAll()
 			}
@@ -585,6 +604,8 @@ func (fc *FleetController) handleStall(st mve.Stall) {
 // the quorum; a leader crash is out of scope for the fleet controller
 // (see the package comment) and is only recorded.
 func (fc *FleetController) handleCrash(info sim.CrashInfo) bool {
+	// maporder: ok — at most one variant owns the crashed task, so the
+	// search result does not depend on iteration order.
 	for _, fv := range fc.live {
 		if runtimeOwns(fv.rt, info) {
 			if !fv.proc.Failed() {

@@ -1,0 +1,207 @@
+package detlint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweptPackages are the determinism-critical directories: everything
+// that runs inside (or schedules) the virtual-time simulation. A map
+// range here whose order escapes — into scheduling decisions, traces,
+// or artifacts — breaks the run-twice reproducibility contract.
+var sweptPackages = []string{
+	"internal/sim",
+	"internal/mve",
+	"internal/dsu",
+	"internal/core",
+	"internal/vos",
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestMapRangeDeterminism is the `make lint-maps` gate: every map range
+// in the swept packages must be allowlisted with a `maporder:` comment
+// justifying it.
+func TestMapRangeDeterminism(t *testing.T) {
+	sw := NewSweeper(repoRoot(t), "mvedsua")
+	findings, err := sw.Sweep(sweptPackages)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s — iterate in a sorted/deterministic order, or annotate with %q explaining why the order cannot be observed", f, Marker)
+	}
+}
+
+// writeTestPkg materializes a throwaway package under root so the
+// sweeper lints it like repo code.
+func writeTestPkg(t *testing.T, src string) (*Sweeper, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "p")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return NewSweeper(dir, "example"), "p"
+}
+
+func TestFlagsUnannotatedMapRange(t *testing.T) {
+	sw, rel := writeTestPkg(t, `package p
+
+func f(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	findings, err := sw.SweepDir(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", findings)
+	}
+	if findings[0].Expr != "m" || !strings.HasSuffix(findings[0].Pos, "p.go:5") {
+		t.Errorf("finding = %+v", findings[0])
+	}
+}
+
+func TestMarkerAllowsTrailingAndPreceding(t *testing.T) {
+	sw, rel := writeTestPkg(t, `package p
+
+func f(m map[string]int) int {
+	total := 0
+	for _, v := range m { // maporder: ok — sum is order-insensitive
+		total += v
+	}
+	// maporder: ok — sum is order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	findings, err := sw.SweepDir(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("annotated ranges flagged: %v", findings)
+	}
+}
+
+func TestMarkerInMultiLineCommentGroup(t *testing.T) {
+	sw, rel := writeTestPkg(t, `package p
+
+func f(m map[string]int) int {
+	total := 0
+	// maporder: ok — the sum is order-insensitive, and this
+	// explanation wraps onto a second line.
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	findings, err := sw.SweepDir(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("range below multi-line marker group flagged: %v", findings)
+	}
+}
+
+func TestNonMapRangesIgnored(t *testing.T) {
+	sw, rel := writeTestPkg(t, `package p
+
+func f(xs []int, s string, ch chan int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for range s {
+		total++
+	}
+	for v := range ch {
+		total += v
+	}
+	for i := range 3 {
+		total += i
+	}
+	return total
+}
+`)
+	findings, err := sw.SweepDir(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("non-map ranges flagged: %v", findings)
+	}
+}
+
+// Map types reached through another repo package must still be
+// recognized — the module-path importer at work.
+func TestCrossPackageMapType(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for path, src := range map[string]string{
+		"q/q.go": `package q
+
+type Table struct{ M map[string]int }
+
+func New() *Table { return &Table{M: map[string]int{}} }
+`,
+		"p/p.go": `package p
+
+import "example/q"
+
+func f() int {
+	total := 0
+	for _, v := range q.New().M {
+		total += v
+	}
+	return total
+}
+`,
+	} {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw := NewSweeper(dir, "example")
+	findings, err := sw.SweepDir("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want the cross-package map range flagged", findings)
+	}
+}

@@ -463,7 +463,7 @@ func (rt *Runtime) deregister(env *Env) {
 // differ run to run.
 func (rt *Runtime) KillAll() {
 	tids := make([]int, 0, len(rt.tasks))
-	for tid := range rt.tasks {
+	for tid := range rt.tasks { // maporder: ok — tids are sorted below
 		tids = append(tids, tid)
 	}
 	sort.Ints(tids)
@@ -481,7 +481,7 @@ func (rt *Runtime) KillAll() {
 // Tasks returns the live thread tasks, keyed by logical thread id.
 func (rt *Runtime) Tasks() map[int]*sim.Task {
 	out := make(map[int]*sim.Task, len(rt.tasks))
-	for tid, t := range rt.tasks {
+	for tid, t := range rt.tasks { // maporder: ok — map copy
 		out[tid] = t
 	}
 	return out

@@ -502,7 +502,7 @@ func (p *Proc) waitFor(tid int) *sim.WaitQueue {
 // allocation-free in steady state.
 func (p *Proc) wakeAllTIDs() {
 	tids := p.wakeScratch[:0]
-	for tid := range p.tidWait {
+	for tid := range p.tidWait { // maporder: ok — tids are sorted below
 		tids = append(tids, tid)
 	}
 	sort.Ints(tids)
@@ -513,11 +513,14 @@ func (p *Proc) wakeAllTIDs() {
 }
 
 func (p *Proc) queuesEmpty() bool {
+	// maporder: ok — pure existence checks; the answer is the same in
+	// any iteration order.
 	for _, evs := range p.rawByTID {
 		if len(evs) > 0 {
 			return false
 		}
 	}
+	// maporder: ok — same existence check as above.
 	for _, groups := range p.expByTID {
 		if len(groups) > 0 {
 			return false
@@ -538,17 +541,18 @@ type KernelState struct {
 
 // Clone deep-copies the tracked kernel state (given to a fork).
 func (ks KernelState) Clone() KernelState {
+	// maporder: ok — map-to-map copies; the result is order-independent.
 	out := KernelState{LogicalPID: ks.LogicalPID}
 	out.OpenFDs = make(map[int]bool, len(ks.OpenFDs))
-	for fd := range ks.OpenFDs {
+	for fd := range ks.OpenFDs { // maporder: ok — map copy
 		out.OpenFDs[fd] = true
 	}
 	out.EpollFDs = make(map[int]bool, len(ks.EpollFDs))
-	for fd := range ks.EpollFDs {
+	for fd := range ks.EpollFDs { // maporder: ok — map copy
 		out.EpollFDs[fd] = true
 	}
 	out.Listeners = make(map[int]int64, len(ks.Listeners))
-	for fd, port := range ks.Listeners {
+	for fd, port := range ks.Listeners { // maporder: ok — map copy
 		out.Listeners[fd] = port
 	}
 	return out

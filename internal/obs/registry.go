@@ -219,6 +219,19 @@ func (h *Histogram) merge(src *Histogram) {
 	}
 }
 
+// Snapshot exports this registry alone (no trace bookkeeping — those
+// fields belong to the Recorder). Safe on nil: returns empty maps, so a
+// merged-registry report can serialize whether or not scoping ran.
+func (g *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	g.snapshotInto(&s)
+	return s
+}
+
 func (g *Registry) snapshotInto(s *Snapshot) {
 	if g == nil {
 		return

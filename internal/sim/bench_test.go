@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Scheduler hot-path microbenchmarks (`make bench-sched`). These pin
+// the cost of a dispatch, an enqueue+dispatch round trip, and a timer
+// fire, so shard-coordination overhead added on top of the core
+// scheduler is measurable before and after a change.
+
+// BenchmarkDispatchYield measures the task→scheduler→task handoff: two
+// tasks alternating via Yield, two dispatches per iteration.
+func BenchmarkDispatchYield(b *testing.B) {
+	s := New()
+	for i := 0; i < 2; i++ {
+		s.Go("yielder", func(tk *Task) {
+			for n := 0; n < b.N; n++ {
+				tk.Yield()
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEnqueueDispatch measures a single task re-enqueueing itself:
+// one enqueue and one dispatch per iteration, no contention.
+func BenchmarkEnqueueDispatch(b *testing.B) {
+	s := New()
+	s.Go("solo", func(tk *Task) {
+		for n := 0; n < b.N; n++ {
+			tk.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerFire measures the timer heap: push on Sleep, pop on
+// fire, one of each per iteration.
+func BenchmarkTimerFire(b *testing.B) {
+	s := New()
+	s.Go("sleeper", func(tk *Task) {
+		for n := 0; n < b.N; n++ {
+			tk.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerFireContended measures the heap with 64 interleaved
+// sleepers, the shape of a populated shard.
+func BenchmarkTimerFireContended(b *testing.B) {
+	s := New()
+	const tasks = 64
+	for i := 0; i < tasks; i++ {
+		s.Go("sleeper", func(tk *Task) {
+			for n := 0; n < b.N/tasks; n++ {
+				tk.Sleep(time.Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedEpoch measures pure epoch-coordination overhead: two
+// shards, one task each sleeping through every quantum, so each
+// iteration is one barrier with minimal shard-local work.
+func BenchmarkShardedEpoch(b *testing.B) {
+	ss := NewSharded(2, time.Millisecond)
+	for i := 0; i < 2; i++ {
+		ss.Go(i, "ticker", func(tk *Task) {
+			for n := 0; n < b.N; n++ {
+				tk.Sleep(time.Millisecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := ss.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedCrossSend measures the cross-shard path: one message
+// sequenced through the barrier per iteration, ping-ponging between two
+// shards.
+func BenchmarkShardedCrossSend(b *testing.B) {
+	ss := NewSharded(2, time.Millisecond)
+	var bounce func(tk *Task, n int)
+	bounce = func(tk *Task, n int) {
+		if n >= b.N {
+			return
+		}
+		to := 1 - tk.Scheduler().ShardID()
+		ss.Send(tk, to, "ball", func(rk *Task) { bounce(rk, n+1) })
+	}
+	ss.Go(0, "serve", func(tk *Task) { bounce(tk, 0) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := ss.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

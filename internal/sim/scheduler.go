@@ -75,6 +75,7 @@ type Scheduler struct {
 	clock   time.Duration
 	nextID  int
 	nextSeq int64
+	shard   int // index within a ShardedScheduler; 0 for standalone use
 
 	runq   []*Task
 	timers timerHeap
@@ -118,6 +119,10 @@ func New() *Scheduler {
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.clock }
+
+// ShardID returns the scheduler's index within its ShardedScheduler, or
+// 0 for a standalone scheduler.
+func (s *Scheduler) ShardID() int { return s.shard }
 
 // Crashes returns the crashes observed so far, in order.
 func (s *Scheduler) Crashes() []CrashInfo { return s.crashes }
@@ -261,13 +266,38 @@ func (s *Scheduler) RunFor(d time.Duration) error {
 }
 
 func (s *Scheduler) deadlock() error {
+	return &DeadlockError{Blocked: s.blockedNames()}
+}
+
+// blockedNames returns the names of the tasks parked on wait queues,
+// sorted so the report is deterministic.
+func (s *Scheduler) blockedNames() []string {
 	var names []string
-	for t := range s.blocked {
+	for t := range s.blocked { // maporder: ok — names are sorted below
 		names = append(names, t.name)
 	}
 	sort.Strings(names)
-	return &DeadlockError{Blocked: names}
+	return names
 }
+
+// hasRunnable reports whether the run queue holds at least one entry.
+// Done tasks still queued count (dispatch skips them), so a true result
+// means at most that the next run step is cheap, never that it is
+// missing — which is what the sharded epoch loop needs.
+func (s *Scheduler) hasRunnable() bool { return len(s.runq) > 0 }
+
+// nextTimer returns the earliest pending timer deadline. Stale timers
+// (task killed or woken early) are included, so the returned time is a
+// lower bound on the next real event.
+func (s *Scheduler) nextTimer() (time.Duration, bool) {
+	if s.timers.Len() == 0 {
+		return 0, false
+	}
+	return s.timers[0].when, true
+}
+
+// liveTasks returns the number of tasks not yet done.
+func (s *Scheduler) liveTasks() int { return s.live }
 
 func (s *Scheduler) dispatch(t *Task) {
 	s.dispatches++

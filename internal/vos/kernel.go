@@ -387,7 +387,7 @@ func (k *Kernel) listDir(c sysabi.Call) sysabi.Result {
 		prefix += "/"
 	}
 	var names []string
-	for name := range k.fs {
+	for name := range k.fs { // maporder: ok — names are sorted below
 		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
 			names = append(names, name[len(prefix):])
 		}
@@ -447,7 +447,7 @@ func (k *Kernel) epollWait(t *sim.Task, c sysabi.Call) sysabi.Result {
 	deadline := k.sched.Now() + timeout
 	for {
 		var fds []int
-		for fd := range ep.watched {
+		for fd := range ep.watched { // maporder: ok — fds are sorted below; stale-fd deletes are order-independent
 			if _, exists := k.fds[fd]; !exists {
 				delete(ep.watched, fd)
 				continue
