@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt-check check lint-maps metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke train-smoke shard-determinism bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-all bench-ring bench-sched experiments examples clean
+.PHONY: all build test vet fmt-check check lint-maps metrics-smoke perf-smoke timeline-smoke nvariant-smoke slo-smoke train-smoke profile-smoke shard-determinism bench bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-profile bench-all bench-ring bench-sched experiments examples clean
 
 all: check
 
@@ -34,6 +34,7 @@ check: vet fmt-check lint-maps
 	$(MAKE) nvariant-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) train-smoke
+	$(MAKE) profile-smoke
 	$(MAKE) shard-determinism
 
 # Map-iteration determinism sweep: flag `for range` over maps in the
@@ -110,6 +111,18 @@ train-smoke:
 		{ echo "BENCH_train.json is stale; run 'make bench-train' to regenerate"; rm -f .bench_train_smoke.json; exit 1; }
 	rm -f .bench_train_smoke.json
 
+# Same contract for the virtual-clock profiler artifact: the duo /
+# fleet / sweep attribution scenarios charge every scheduler slice to a
+# label stack in virtual time, so BENCH_profile.json must reproduce
+# byte-for-byte (regenerate with `make bench-profile`; see
+# docs/OBSERVABILITY.md for the profiler vocabulary and
+# docs/PERFORMANCE.md for how to read the tables).
+profile-smoke:
+	$(GO) run ./cmd/benchtool -experiment profile -json .bench_profile_smoke.json >/dev/null
+	diff -u BENCH_profile.json .bench_profile_smoke.json || \
+		{ echo "BENCH_profile.json is stale; run 'make bench-profile' to regenerate"; rm -f .bench_profile_smoke.json; exit 1; }
+	rm -f .bench_profile_smoke.json
+
 # Sharded-runtime determinism smoke: the sharddet experiment runs two
 # duo-update lifecycles on two parallel shards with a cross-shard
 # trigger; two full runs must serialize byte-identically. This is the
@@ -146,8 +159,12 @@ bench-slo:
 bench-train:
 	$(GO) run ./cmd/benchtool -experiment train -json BENCH_train.json >/dev/null
 
+# Regenerate the committed virtual-clock profiler baseline.
+bench-profile:
+	$(GO) run ./cmd/benchtool -experiment profile -json BENCH_profile.json >/dev/null
+
 # Regenerate every committed BENCH_*.json artifact in one sweep.
-bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train
+bench-all: bench-metrics bench-perf bench-timeline bench-nvariant bench-slo bench-train bench-profile
 
 # Ring microbenchmarks with allocation accounting (docs/PERFORMANCE.md).
 bench-ring:

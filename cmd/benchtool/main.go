@@ -13,6 +13,7 @@
 //	benchtool -experiment nvariant # N-variant fleet: quorum verdicts + canary gates
 //	benchtool -experiment slo      # availability ledger: SLO windows, MTTR, pause attribution
 //	benchtool -experiment train    # update trains: eager vs lazy state transformation
+//	benchtool -experiment profile  # virtual-clock profiler: exact time attribution
 //	benchtool -experiment sharddet # sharded runtime determinism smoke (run twice, diff)
 //	benchtool -experiment all      # everything
 //
@@ -60,7 +61,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|train|sharddet|all")
+	experiment := flag.String("experiment", "all", "table1|table2|fig6|fig7|faults|chaos|rolling|metrics|perf|timeline|nvariant|slo|train|profile|sharddet|all")
 	list := flag.Bool("list", false, "list the experiments with one-line descriptions and exit")
 	window := flag.Duration("window", bench.DefaultTable2Config.Window, "table2 measurement window (virtual time)")
 	full := flag.Bool("full", false, "run fig7 at paper scale (1M entries, 2^24 buffer; slow)")
@@ -277,6 +278,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.TrainSchemaID)
 		}
 	}
+	if run("profile") {
+		report, err := bench.RunProfileReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatProfileReport(report))
+		if *jsonOut != "" && *experiment == "profile" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *jsonOut, bench.ProfileSchemaID)
+		}
+	}
 	if run("sharddet") {
 		report, err := bench.RunShardDetReport()
 		if err != nil {
@@ -314,6 +333,7 @@ var experiments = []struct{ name, desc string }{
 	{"nvariant", "N-variant fleet: quorum verdicts + canary gates -> BENCH_nvariant.json"},
 	{"slo", "availability ledger: SLO windows, MTTR, pause attribution -> BENCH_slo.json"},
 	{"train", "update trains: eager vs lazy state transformation -> BENCH_train.json"},
+	{"profile", "virtual-clock profiler: exact duo/fleet/sweep time attribution -> BENCH_profile.json"},
 	{"sharddet", "sharded-runtime determinism smoke: parallel shards, cross-shard update trigger"},
 	{"all", "every experiment above, in order"},
 }

@@ -20,6 +20,10 @@
 //	mvedsua -app redis -metrics            # flight-recorder counters/histograms
 //	mvedsua -app redis -perfetto out.json  # Chrome trace_event export (load in
 //	                                       # https://ui.perfetto.dev)
+//	mvedsua -app redis -folded out.txt     # exact virtual-clock profile as
+//	                                       # folded flamegraph stacks
+//	mvedsua -app redis -pprof out.pb       # the same profile, pprof-encoded
+//	                                       # (go tool pprof out.pb)
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"mvedsua/internal/chaos"
 	"mvedsua/internal/core"
 	"mvedsua/internal/dsu"
+	"mvedsua/internal/obs"
 	"mvedsua/internal/rolling"
 	"mvedsua/internal/sim"
 	"mvedsua/internal/sysabi"
@@ -47,7 +52,13 @@ var (
 	traceAllFlag = flag.Bool("trace-all", false, "print the full flight-recorder trace, including per-syscall hot events")
 	metricsFlag  = flag.Bool("metrics", false, "print flight-recorder metrics (counters, gauges, latency histograms)")
 	perfettoFlag = flag.String("perfetto", "", "write a Chrome trace_event export of the run to this file (Perfetto-loadable)")
+	foldedFlag   = flag.String("folded", "", "write the exact virtual-clock profile to this file as folded flamegraph stacks")
+	pprofFlag    = flag.String("pprof", "", "write the exact virtual-clock profile to this file in pprof format")
 )
+
+// prof holds the run's virtual-clock profiler when -folded or -pprof
+// asked for one; nil otherwise (profiling stays fully dark).
+var prof *obs.Profiler
 
 func main() {
 	app := flag.String("app", "tkv", "tkv|redis|memcached|vsftpd|cluster")
@@ -82,6 +93,9 @@ func setup(w *apptest.World) *apptest.World {
 	w.C.Monitor().EnableEventLog(0) // report() prints the lifecycle log
 	if *perfettoFlag != "" {
 		w.EnableSpanTracing()
+	}
+	if *foldedFlag != "" || *pprofFlag != "" {
+		prof = w.EnableProfiling()
 	}
 	return w
 }
@@ -122,6 +136,22 @@ func report(w *apptest.World) {
 		}
 		fmt.Printf("\nwrote %s (%d span events; open in https://ui.perfetto.dev)\n",
 			*perfettoFlag, len(w.Rec.Spans()))
+	}
+	if *foldedFlag != "" && prof != nil {
+		folded := prof.Folded()
+		if err := os.WriteFile(*foldedFlag, []byte(folded), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mvedsua: folded export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d folded stacks; render with any flamegraph tool)\n",
+			*foldedFlag, strings.Count(folded, "\n"))
+	}
+	if *pprofFlag != "" && prof != nil {
+		if err := os.WriteFile(*pprofFlag, prof.Pprof(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mvedsua: pprof export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (inspect with `go tool pprof -top %s`)\n", *pprofFlag, *pprofFlag)
 	}
 }
 

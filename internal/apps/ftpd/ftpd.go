@@ -189,7 +189,7 @@ func (s *Server) Fork() dsu.App {
 		Ops:         s.Ops,
 		CmdCPU:      s.CmdCPU,
 	}
-	for fd, sess := range s.sessions {
+	for fd, sess := range s.sessions { // maporder: ok — map-to-map clone, order unobservable
 		out.sessions[fd] = sess.clone()
 	}
 	return out

@@ -103,7 +103,7 @@ func (e *entry) clone() *entry {
 	out := &entry{typ: e.typ, str: e.str, expireAt: e.expireAt, gen: e.gen}
 	if e.hash != nil {
 		out.hash = make(map[string]string, len(e.hash))
-		for k, v := range e.hash {
+		for k, v := range e.hash { // maporder: ok — map-to-map clone, order unobservable
 			out.hash[k] = v
 		}
 	}
@@ -195,10 +195,12 @@ func (s *Server) Get(key string) (string, bool) {
 // process dying, as a real restart would reset client connections.
 func (s *Server) NetworkFDs() []int {
 	fds := []int{s.listenFD, s.epollFD}
-	for fd := range s.conns {
-		fds = append(fds, fd)
+	conns := make([]int, 0, len(s.conns))
+	for fd := range s.conns { // maporder: ok — conn fds are sorted below
+		conns = append(conns, fd)
 	}
-	return fds
+	sort.Ints(conns)
+	return append(fds, conns...)
 }
 
 // ResetSessions drops all connection state (a checkpointed restart has
@@ -232,10 +234,10 @@ func (s *Server) Fork() dsu.App {
 		l.keys = append([]string(nil), s.lazy.keys...)
 		out.lazy = &l
 	}
-	for fd, cs := range s.conns {
+	for fd, cs := range s.conns { // maporder: ok — map-to-map clone, order unobservable
 		out.conns[fd] = &connState{in: cs.in.Clone()}
 	}
-	for k, e := range s.db {
+	for k, e := range s.db { // maporder: ok — map-to-map clone, order unobservable
 		out.db[k] = e.clone()
 	}
 	return out
@@ -251,7 +253,7 @@ func (s *Server) beginLazyMigration(perEntry time.Duration) {
 		perEntry = s.lazy.perEntry // keep the dearest outstanding rate
 	}
 	keys := make([]string, 0, len(s.db))
-	for k, e := range s.db {
+	for k, e := range s.db { // maporder: ok — keys are sorted below
 		if e.gen < s.xformGen {
 			keys = append(keys, k)
 		}
@@ -270,7 +272,7 @@ func (s *Server) finishLazyEagerly() {
 	if s.lazy == nil {
 		return
 	}
-	for _, e := range s.db {
+	for _, e := range s.db { // maporder: ok — same assignment to every entry
 		e.gen = s.xformGen
 	}
 	s.lazy = nil
@@ -633,7 +635,7 @@ func (s *Server) executeAt(now time.Duration, line string) []byte {
 		return proto.Integer(int64(len(s.db)))
 	case "KEYS", "keys":
 		keys := make([]string, 0, len(s.db))
-		for k := range s.db {
+		for k := range s.db { // maporder: ok — keys are sorted below
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)

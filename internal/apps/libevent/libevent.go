@@ -102,7 +102,7 @@ func (b *Base) Clone() *Base {
 		rrOffset:  b.rrOffset,
 		corrupted: b.corrupted,
 	}
-	for fd, c := range b.handlers {
+	for fd, c := range b.handlers { // maporder: ok — map-to-map clone, order unobservable
 		out.handlers[fd] = c
 	}
 	return out

@@ -96,7 +96,7 @@ type worker struct {
 
 func (w *worker) clone() *worker {
 	out := &worker{base: w.base.Clone(), conns: make(map[int]*mcConn, len(w.conns))}
-	for fd, c := range w.conns {
+	for fd, c := range w.conns { // maporder: ok — map-to-map clone, order unobservable
 		out.conns[fd] = c.clone()
 	}
 	return out
@@ -181,7 +181,7 @@ func (s *Server) Fork() dsu.App {
 	for i, w := range s.workers {
 		out.workers[i] = w.clone()
 	}
-	for k, v := range s.db {
+	for k, v := range s.db { // maporder: ok — map-to-map clone, order unobservable
 		out.db[k] = v
 	}
 	return out

@@ -61,7 +61,7 @@ func (s *Server) Version() string { return s.version }
 // Table returns a copy of the store, for tests.
 func (s *Server) Table() map[string]entry {
 	out := make(map[string]entry, len(s.table))
-	for k, v := range s.table {
+	for k, v := range s.table { // maporder: ok — map-to-map copy, order unobservable
 		out[k] = v
 	}
 	return out
@@ -83,7 +83,7 @@ func (s *Server) Fork() dsu.App {
 		table:    make(map[string]entry, len(s.table)),
 		Ops:      s.Ops,
 	}
-	for k, v := range s.table {
+	for k, v := range s.table { // maporder: ok — map-to-map clone, order unobservable
 		out.table[k] = v
 	}
 	return out
@@ -254,7 +254,7 @@ func Update(opts UpdateOpts) *dsu.Version {
 			n := o.Fork().(*Server)
 			n.version = "v2"
 			n.strict = opts.Strict
-			for k, e := range n.table {
+			for k, e := range n.table { // maporder: ok — per-entry rewrite, order unobservable
 				if opts.UninitializedType {
 					e.Type = "" // the forgotten initialization (§2.4)
 				} else {

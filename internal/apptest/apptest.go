@@ -37,6 +37,7 @@ func NewWorld(cfg core.Config) *World {
 	if cfg.Recorder == nil {
 		cfg.Recorder = obs.New(s.Now, obs.Options{})
 	}
+	cfg.Recorder.SetTraceDropSource(s)
 	return &World{S: s, K: k, C: core.New(k, cfg), Rec: cfg.Recorder}
 }
 
@@ -53,6 +54,20 @@ func (w *World) EnableSpanTracing() {
 			w.Rec.Slice(task, "run", start, end)
 		}
 	}
+}
+
+// EnableProfiling opts the world into exact virtual-clock profiling:
+// the recorder starts accepting label pushes at the instrumentation
+// chokepoints and every scheduler slice is charged to the running
+// task's label stack. Profiling observes but never advances virtual
+// time, so a profiled run stays bit-identical to a bare one. The
+// returned profiler owns the accumulated time shares; export it after
+// Run with Folded, Pprof or Rows.
+func (w *World) EnableProfiling() *obs.Profiler {
+	w.Rec.EnableProfiling()
+	p := obs.NewProfiler()
+	w.S.SetProfiler(p.ShardSink(w.S.ShardID(), w.S.Now))
+	return p
 }
 
 // Finish marks the scenario complete; the teardown task then reaps all
@@ -106,7 +121,17 @@ func NewFleetWorld(cfg core.FleetConfig) *FleetWorld {
 	if cfg.Recorder == nil {
 		cfg.Recorder = obs.New(s.Now, obs.Options{})
 	}
+	cfg.Recorder.SetTraceDropSource(s)
 	return &FleetWorld{S: s, K: k, C: core.NewFleet(k, cfg), Rec: cfg.Recorder}
+}
+
+// EnableProfiling opts the fleet world into exact virtual-clock
+// profiling, exactly like World.EnableProfiling.
+func (w *FleetWorld) EnableProfiling() *obs.Profiler {
+	w.Rec.EnableProfiling()
+	p := obs.NewProfiler()
+	w.S.SetProfiler(p.ShardSink(w.S.ShardID(), w.S.Now))
+	return p
 }
 
 // Finish marks the scenario complete; the teardown task then reaps the

@@ -26,6 +26,7 @@ func NewWorldOn(s *sim.Scheduler, cfg core.Config) *World {
 	if cfg.Recorder == nil {
 		cfg.Recorder = obs.New(s.Now, obs.Options{})
 	}
+	cfg.Recorder.SetTraceDropSource(s)
 	return &World{S: s, K: k, C: core.New(k, cfg), Rec: cfg.Recorder}
 }
 
@@ -103,6 +104,79 @@ func (sw *ShardedWorld) Run(maxVirtual time.Duration) error {
 		})
 	}
 	return sw.SS.Run()
+}
+
+// EnableProfiling opts every shard of the runtime into exact
+// virtual-clock profiling with a single shared profiler: each shard's
+// scheduler gets its own private accumulator (written only by that
+// shard's OS thread), and every group's recorder starts accepting
+// label pushes at the instrumentation chokepoints. Call before Run;
+// export the returned profiler after Run.
+func (sw *ShardedWorld) EnableProfiling() *obs.Profiler {
+	p := obs.NewProfiler()
+	for i := 0; i < sw.SS.Shards(); i++ {
+		s := sw.SS.Shard(i)
+		s.SetProfiler(p.ShardSink(i, s.Now))
+	}
+	for _, w := range sw.Worlds {
+		w.Rec.EnableProfiling()
+	}
+	return p
+}
+
+// EnableSpanTracing opts every group into causal span tracing and the
+// sharded runtime into cross-shard flow logging, so the run can be
+// exported as one merged timeline. Scheduler run slices land in the
+// first group's recorder on each shard (the per-shard track owner);
+// spans from all groups are keyed to their own recorders as usual.
+func (sw *ShardedWorld) EnableSpanTracing() {
+	sw.SS.SetFlowLog(true)
+	sliced := make(map[int]bool)
+	for g, w := range sw.Worlds {
+		w.Rec.EnableSpans()
+		w.K.Rec = w.Rec
+		shard := sw.ShardOf(g)
+		if sliced[shard] {
+			continue
+		}
+		sliced[shard] = true
+		rec, s := w.Rec, w.S
+		s.OnSlice = func(task string, start, end time.Duration) {
+			if end > start {
+				rec.Slice(task, "run", start, end)
+			}
+		}
+	}
+}
+
+// ExportMergedChromeTrace renders the whole sharded run as one
+// Perfetto/Chrome timeline: each shard's span track owner becomes a
+// trace process, and every cross-shard message delivered at an epoch
+// barrier becomes a flow arc from its virtual send to its delivery.
+// Requires EnableSpanTracing before the run.
+func (sw *ShardedWorld) ExportMergedChromeTrace() ([]byte, error) {
+	var shards []obs.ShardTrace
+	seen := make(map[int]bool)
+	for g, w := range sw.Worlds {
+		shard := sw.ShardOf(g)
+		if seen[shard] {
+			continue
+		}
+		seen[shard] = true
+		shards = append(shards, obs.ShardTrace{
+			Shard: shard,
+			Label: fmt.Sprintf("shard%d", shard),
+			Rec:   w.Rec,
+		})
+	}
+	var flows []obs.Flow
+	for _, f := range sw.SS.Flows() {
+		flows = append(flows, obs.Flow{
+			ID: f.Seq, From: f.From, To: f.To, Name: f.Name,
+			Sent: f.Sent, Delivered: f.Delivered,
+		})
+	}
+	return obs.ExportMergedChromeTrace(shards, flows)
 }
 
 // MergedMetrics folds every group's root registry into one aggregate,

@@ -223,8 +223,11 @@ func runTraced(sc timelineScenario) (TimelineRun, []byte, error) {
 }
 
 // ValidateChromeTrace checks that data is a well-formed Chrome
-// trace_event export: valid JSON, non-empty, and with timestamps
-// non-decreasing within every (pid, tid) track.
+// trace_event export: valid JSON, non-empty, timestamps non-decreasing
+// within every (pid, tid) track, and every flow arc properly paired —
+// a flow-start ("s") without a finish ("f") of the same id and
+// category, or vice versa, renders as a dangling arrow in Perfetto and
+// is rejected here.
 func ValidateChromeTrace(data []byte) error {
 	var trace struct {
 		TraceEvents []struct {
@@ -233,6 +236,8 @@ func ValidateChromeTrace(data []byte) error {
 			Ts   float64 `json:"ts"`
 			Pid  int     `json:"pid"`
 			Tid  int     `json:"tid"`
+			Cat  string  `json:"cat"`
+			ID   string  `json:"id"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &trace); err != nil {
@@ -242,6 +247,8 @@ func ValidateChromeTrace(data []byte) error {
 		return fmt.Errorf("chrome trace: no events")
 	}
 	last := map[[2]int]float64{}
+	starts := map[string]int{}
+	finishes := map[string]int{}
 	for i, ev := range trace.TraceEvents {
 		if ev.Ph == "M" {
 			continue
@@ -252,6 +259,22 @@ func ValidateChromeTrace(data []byte) error {
 				i, ev.Name, ev.Tid, ev.Ts, prev)
 		}
 		last[key] = ev.Ts
+		switch ev.Ph {
+		case "s":
+			starts[ev.Cat+"/"+ev.ID]++
+		case "f":
+			finishes[ev.Cat+"/"+ev.ID]++
+		}
+	}
+	for id, n := range starts { // maporder: ok — error content, not ordered output
+		if finishes[id] != n {
+			return fmt.Errorf("chrome trace: flow %s has %d start(s) but %d finish(es)", id, n, finishes[id])
+		}
+	}
+	for id, n := range finishes { // maporder: ok — error content, not ordered output
+		if starts[id] != n {
+			return fmt.Errorf("chrome trace: flow %s has %d finish(es) but %d start(s)", id, n, starts[id])
+		}
 	}
 	return nil
 }

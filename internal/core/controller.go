@@ -396,6 +396,13 @@ func (c *Controller) flushTrain(why string) {
 
 // takeUpdate is the leader's DSU consultation hook: fork and abort.
 func (c *Controller) takeUpdate(t *sim.Task, rt *dsu.Runtime, v *dsu.Version) dsu.TakeAction {
+	// Runs in the leader's task at quiescence: the fork + follower
+	// launch is the update's in-band moment, so attribute it to the
+	// xform dimension when profiling is on.
+	if c.rec.ProfilingEnabled() {
+		t.PushLabel(obs.LblXform)
+		defer t.PopLabel()
+	}
 	// The update was requested when the leader runtime armed it, not
 	// when quiescence finally decided it here; thread the real request
 	// time into the follower's update record.

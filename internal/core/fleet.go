@@ -309,7 +309,16 @@ func (fc *FleetController) Update(v *dsu.Version) bool {
 	fc.pending = v
 	fc.pendingAt = fc.sched.Now()
 	fc.rec.Inc(obs.CCoreUpdates)
-	fc.atBarrier("canary-fork@"+v.Name, func(t *sim.Task) { fc.startCanary(v) })
+	fc.atBarrier("canary-fork@"+v.Name, func(t *sim.Task) {
+		// The fork + transform of the canary runs inside the leader's
+		// quiescence barrier: attribute it to the xform dimension so a
+		// profile shows the update's in-band cost, not just its outcome.
+		if fc.rec.ProfilingEnabled() {
+			t.PushLabel(obs.LblXform)
+			defer t.PopLabel()
+		}
+		fc.startCanary(v)
+	})
 	return true
 }
 

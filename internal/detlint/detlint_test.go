@@ -17,6 +17,12 @@ var sweptPackages = []string{
 	"internal/dsu",
 	"internal/core",
 	"internal/vos",
+	"internal/obs",
+	"internal/apps/ftpd",
+	"internal/apps/kvstore",
+	"internal/apps/libevent",
+	"internal/apps/memcache",
+	"internal/apps/tkv",
 }
 
 func repoRoot(t *testing.T) string {

@@ -348,6 +348,10 @@ func (rt *Runtime) applyXform(task *sim.Task, old App, v *Version) (App, error) 
 	if traced {
 		rec.BeginSpan(track, "xform:"+v.Name, "state transfer")
 	}
+	if rec.ProfilingEnabled() {
+		task.PushLabel(obs.LblXform)
+		defer task.PopLabel()
+	}
 	rt.chargeXform(task, old, v)
 	newApp, err := v.Xform(old)
 	rec.Observe(obs.HDSUXform, rt.sched.Now()-start)
@@ -389,10 +393,21 @@ func (rt *Runtime) startLazySweep(app App) {
 				rec.Add(obs.CDSUXformSwept, int64(n))
 				rec.SetGauge(obs.GDSUXformPending, int64(la.PendingLazy()))
 				if cost > 0 {
+					prof := rec.ProfilingEnabled()
+					if prof {
+						task.PushLabel(obs.LblXform)
+					}
 					if parallel {
+						start := task.Now()
 						task.Sleep(cost)
+						if prof {
+							task.ChargeWait(obs.LblXform, start)
+						}
 					} else {
 						task.Advance(cost)
+					}
+					if prof {
+						task.PopLabel()
 					}
 				}
 			}
@@ -414,7 +429,15 @@ func (rt *Runtime) chargeXform(task *sim.Task, old App, v *Version) {
 		return
 	}
 	if rt.cfg.ParallelXform {
-		task.Sleep(d) // own core: elapses without stalling the leader
+		if rt.cfg.Rec.ProfilingEnabled() {
+			// Parallel transfer is sleep-modeled work on another core:
+			// charge it to the off-CPU xform dimension.
+			start := task.Now()
+			task.Sleep(d)
+			task.ChargeWait(obs.LblXform, start)
+		} else {
+			task.Sleep(d) // own core: elapses without stalling the leader
+		}
 	} else {
 		task.Advance(d) // in-place: service pauses (the Kitsune pause)
 	}
@@ -644,10 +667,21 @@ func (e *Env) ChargeLazyXform(steps int, d time.Duration) {
 			fmt.Sprintf("%d lazy migration step(s) on access", steps))
 	}
 	if d > 0 {
+		prof := rec.ProfilingEnabled()
+		if prof {
+			e.task.PushLabel(obs.LblXform)
+		}
 		if rt.cfg.ParallelXform {
+			start := e.task.Now()
 			e.task.Sleep(d)
+			if prof {
+				e.task.ChargeWait(obs.LblXform, start)
+			}
 		} else {
 			e.task.Advance(d)
+		}
+		if prof {
+			e.task.PopLabel()
 		}
 	}
 }

@@ -862,7 +862,35 @@ func (p *Proc) scoped() *obs.Registry {
 	return p.scope
 }
 
+// profiling reports whether profiler chokepoints are live (nil-safe,
+// off by default: golden runs never reach the label pushes below).
+func (p *Proc) profiling() bool { return p.m.rec.ProfilingEnabled() }
+
+// roleLabel maps the proc onto the profiler's role vocabulary. The
+// canary is a follower whose divergences are budgeted; it gets its own
+// label so fleet profiles separate canary validation from replica
+// validation.
+func (p *Proc) roleLabel() string {
+	if p == p.m.canary {
+		return obs.LblCanary
+	}
+	switch p.role {
+	case RoleFollower:
+		return obs.LblFollower
+	case RoleRetired:
+		return obs.LblRetired
+	default:
+		return obs.LblLeader
+	}
+}
+
 func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
+	if p.profiling() {
+		t.PushLabel(obs.LblLeader)
+		t.PushLabel(obs.LblService)
+		defer t.PopLabel()
+		defer t.PopLabel()
+	}
 	p.m.Stats.Intercepted++
 	if p.m.costs.Intercept > 0 {
 		t.Advance(p.m.costs.Intercept)
@@ -889,6 +917,12 @@ func (p *Proc) invokeSingle(t *sim.Task, call sysabi.Call) sysabi.Result {
 }
 
 func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
+	if p.profiling() {
+		t.PushLabel(obs.LblLeader)
+		t.PushLabel(obs.LblService)
+		defer t.PopLabel()
+		defer t.PopLabel()
+	}
 	if p.m.costs.Record > 0 {
 		t.Advance(p.m.costs.Record)
 	}
@@ -965,6 +999,12 @@ func (p *Proc) invokeLeader(t *sim.Task, call sysabi.Call) sysabi.Result {
 // invokeFollower validates one follower syscall. The second return value
 // requests re-dispatch after a role change (promotion).
 func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, bool) {
+	if p.profiling() {
+		t.PushLabel(p.roleLabel())
+		t.PushLabel(obs.LblValidate)
+		defer t.PopLabel()
+		defer t.PopLabel()
+	}
 	if p.diverged {
 		p.parkForever(t)
 	}
@@ -976,9 +1016,18 @@ func (p *Proc) invokeFollower(t *sim.Task, call sysabi.Call) (sysabi.Result, boo
 			return sysabi.Result{}, true
 		}
 	}
-	// Model the follower's per-event processing as parallel work.
+	// Model the follower's per-event processing as parallel work. With
+	// profiling on, the sleep-modeled interval is charged to the off-CPU
+	// validate dimension — this is the per-event cost that scales with
+	// the variant count K in fleet profiles.
 	if p.m.costs.Replay > 0 {
-		t.Sleep(p.m.costs.Replay)
+		if p.profiling() {
+			start := t.Now()
+			t.Sleep(p.m.costs.Replay)
+			t.ChargeWait(obs.LblValidate, start)
+		} else {
+			t.Sleep(p.m.costs.Replay)
+		}
 	}
 	tid := call.TID
 	var exp sysabi.Event

@@ -251,6 +251,13 @@ type Recorder struct {
 	milestonesDropped int64
 	milestoneCap      int
 
+	profilingOn bool // set by EnableProfiling; gates profiler chokepoints
+
+	// schedDrops, if set (SetTraceDropSource), surfaces the scheduler's
+	// own bounded-trace evictions in FormatMetrics alongside the
+	// recorder's, so truncated observability is never silent.
+	schedDrops TraceDropSource
+
 	spansOn      bool // set by EnableSpans; gates all span recording
 	spans        []SpanEvent
 	spanCap      int
@@ -391,7 +398,7 @@ func (r *Recorder) Children() []*Registry {
 		return nil
 	}
 	scopes := make([]string, 0, len(r.children))
-	for s := range r.children {
+	for s := range r.children { // maporder: ok — scopes are sorted below
 		scopes = append(scopes, s)
 	}
 	sort.Strings(scopes)
@@ -415,6 +422,24 @@ func (r *Recorder) EnableScopes() {
 
 // ScopesEnabled reports whether scoped mirroring is on.
 func (r *Recorder) ScopesEnabled() bool { return r != nil && r.scopesOn }
+
+// TraceDropSource supplies an external bounded-trace eviction count.
+// sim.Scheduler satisfies it structurally (TraceDropped), so apptest
+// can wire the scheduler in without obs importing sim.
+type TraceDropSource interface {
+	TraceDropped() int64
+}
+
+// SetTraceDropSource attaches the scheduler (or any drop counter) whose
+// evictions FormatMetrics should surface. Purely presentational: it
+// changes no recorded data and nothing in Snapshot, so golden artifacts
+// are unaffected.
+func (r *Recorder) SetTraceDropSource(src TraceDropSource) {
+	if r == nil {
+		return
+	}
+	r.schedDrops = src
+}
 
 // Emit appends a trace event stamped at the current virtual time.
 func (r *Recorder) Emit(kind Kind, actor, detail string) {
@@ -548,7 +573,7 @@ func (r *Recorder) FormatMetrics() string {
 		}
 		b.WriteString(title + ":\n")
 		keys := make([]string, 0, len(m))
-		for k := range m {
+		for k := range m { // maporder: ok — keys are sorted below
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
@@ -561,7 +586,7 @@ func (r *Recorder) FormatMetrics() string {
 	if len(r.root.hists) > 0 {
 		b.WriteString("histograms:\n")
 		keys := make([]string, 0, len(r.root.hists))
-		for k := range r.root.hists {
+		for k := range r.root.hists { // maporder: ok — keys are sorted below
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
@@ -573,6 +598,17 @@ func (r *Recorder) FormatMetrics() string {
 	}
 	if r.dropped > 0 {
 		fmt.Fprintf(&b, "trace: %d hot events evicted from the ring\n", r.dropped)
+	}
+	if r.milestonesDropped > 0 {
+		fmt.Fprintf(&b, "milestones: %d lifecycle events dropped at capacity\n", r.milestonesDropped)
+	}
+	if r.spansDropped > 0 {
+		fmt.Fprintf(&b, "spans.dropped: %d span events evicted from the store\n", r.spansDropped)
+	}
+	if r.schedDrops != nil {
+		if n := r.schedDrops.TraceDropped(); n > 0 {
+			fmt.Fprintf(&b, "scheduler.trace_dropped: %d scheduling trace lines evicted\n", n)
+		}
 	}
 	return b.String()
 }

@@ -149,7 +149,7 @@ func (g *Registry) SeriesNames() []string {
 		return nil
 	}
 	names := make([]string, 0, len(g.series))
-	for k := range g.series {
+	for k := range g.series { // maporder: ok — names are sorted below
 		names = append(names, k)
 	}
 	sort.Strings(names)
@@ -174,15 +174,15 @@ func (g *Registry) MergeInto(dst *Registry) {
 	if g == nil || dst == nil || g == dst {
 		return
 	}
-	for k, v := range g.counters {
+	for k, v := range g.counters { // maporder: ok — counter merge is commutative
 		dst.counters[k] += v
 	}
-	for k, v := range g.gauges {
+	for k, v := range g.gauges { // maporder: ok — max-merge is commutative
 		if cur, ok := dst.gauges[k]; !ok || v > cur {
 			dst.gauges[k] = v
 		}
 	}
-	for k, h := range g.hists {
+	for k, h := range g.hists { // maporder: ok — histogram merge is commutative
 		dh, ok := dst.hists[k]
 		if !ok {
 			dh = &Histogram{}
@@ -190,7 +190,7 @@ func (g *Registry) MergeInto(dst *Registry) {
 		}
 		dh.merge(h)
 	}
-	for k, s := range g.series {
+	for k, s := range g.series { // maporder: ok — series merge is commutative
 		ds, ok := dst.series[k]
 		if !ok {
 			ds = &Series{Name: s.Name, Kind: s.Kind, width: s.width, cap: s.cap}
@@ -236,13 +236,13 @@ func (g *Registry) snapshotInto(s *Snapshot) {
 	if g == nil {
 		return
 	}
-	for k, v := range g.counters {
+	for k, v := range g.counters { // maporder: ok — map-to-map copy, order unobservable
 		s.Counters[k] = v
 	}
-	for k, v := range g.gauges {
+	for k, v := range g.gauges { // maporder: ok — map-to-map copy, order unobservable
 		s.Gauges[k] = v
 	}
-	for k, h := range g.hists {
+	for k, h := range g.hists { // maporder: ok — map-to-map copy, order unobservable
 		s.Histograms[k] = HistogramSnapshot{
 			Count:   h.Count,
 			SumNS:   int64(h.Sum),

@@ -192,7 +192,8 @@ type chromeEvent struct {
 	Tid  int               `json:"tid"`
 	Cat  string            `json:"cat,omitempty"`
 	ID   string            `json:"id,omitempty"`
-	S    string            `json:"s,omitempty"` // instant scope
+	S    string            `json:"s,omitempty"`  // instant scope
+	BP   string            `json:"bp,omitempty"` // flow binding point ("e" on flow finish)
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -213,7 +214,17 @@ const chromePid = 1
 // a recorder without spans enabled (exports whatever is retained,
 // possibly just milestones).
 func (r *Recorder) ExportChromeTrace() ([]byte, error) {
-	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	// The process metadata event is emitted even for a nil recorder or an
+	// empty span store, so every export — including one taken before any
+	// spans were recorded — is a valid metadata-only trace that viewers
+	// and ValidateChromeTrace accept.
+	trace := chromeTrace{
+		TraceEvents: []chromeEvent{{
+			Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+			Args: map[string]string{"name": "mvedsua"},
+		}},
+		DisplayTimeUnit: "ms",
+	}
 	if r == nil {
 		return json.MarshalIndent(trace, "", "  ")
 	}
@@ -279,11 +290,8 @@ func (r *Recorder) ExportChromeTrace() ([]byte, error) {
 
 	sort.SliceStable(raw, func(i, j int) bool { return raw[i].at < raw[j].at })
 
-	// Metadata first: a process name and one thread name per track.
-	trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
-		Args: map[string]string{"name": "mvedsua"},
-	})
+	// Metadata first: the process name (already emitted above) plus one
+	// thread name per track.
 	for _, track := range order {
 		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tids[track],

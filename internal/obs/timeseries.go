@@ -292,7 +292,7 @@ func (r *Recorder) EnableWindows(width time.Duration) {
 	}
 	r.win = &windowState{width: width, retention: defaultSeriesRetention, now: r.now}
 	r.root.win = r.win
-	for _, g := range r.children {
+	for _, g := range r.children { // maporder: ok — same assignment to every child
 		g.win = r.win
 	}
 }

@@ -208,6 +208,9 @@ func (mb *MultiBuffer) blockUntilNotFull(t *sim.Task) bool {
 			blockedAt := t.Now()
 			t.Block(&mb.notFull)
 			mb.Rec.Observe(obs.HRingBlockWait, t.Now()-blockedAt)
+			if mb.Rec.ProfilingEnabled() {
+				t.ChargeWait(obs.LblRingWait, blockedAt)
+			}
 		} else {
 			t.Block(&mb.notFull)
 		}
@@ -258,6 +261,14 @@ func (mb *MultiBuffer) TryAppend(e Entry) bool {
 // appended entry (or the buffer closed), mirroring Buffer.WaitDrained
 // for the lockstep leader.
 func (mb *MultiBuffer) WaitDrained(t *sim.Task) {
+	if mb.Rec.ProfilingEnabled() && mb.Len() > 0 && !mb.closed {
+		blockedAt := t.Now()
+		for mb.Len() > 0 && !mb.closed {
+			t.Block(&mb.drained)
+		}
+		t.ChargeWait(obs.LblLockstepWait, blockedAt)
+		return
+	}
 	for mb.Len() > 0 && !mb.closed {
 		t.Block(&mb.drained)
 	}
@@ -366,12 +377,24 @@ func (c *Cursor) take(t *sim.Task) Entry {
 // Get removes and returns the cursor's oldest pending entry, blocking
 // while its view is empty. Reports false once the cursor (or buffer) is
 // closed and drained.
+// blockEmpty parks a consumer on the cursor's empty view, charging the
+// blocked interval to the ring_wait dimension when profiling is on.
+func (c *Cursor) blockEmpty(t *sim.Task) {
+	if c.mb.Rec.ProfilingEnabled() {
+		blockedAt := t.Now()
+		t.Block(&c.notEmpty)
+		t.ChargeWait(obs.LblRingWait, blockedAt)
+	} else {
+		t.Block(&c.notEmpty)
+	}
+}
+
 func (c *Cursor) Get(t *sim.Task) (Entry, bool) {
 	for c.Empty() {
 		if c.Closed() {
 			return Entry{}, false
 		}
-		t.Block(&c.notEmpty)
+		c.blockEmpty(t)
 	}
 	if c.closed {
 		return Entry{}, false
@@ -391,7 +414,7 @@ func (c *Cursor) DrainUpTo(t *sim.Task, dst []Entry, max int) []Entry {
 		if c.Closed() {
 			return dst
 		}
-		t.Block(&c.notEmpty)
+		c.blockEmpty(t)
 	}
 	if c.closed {
 		return dst

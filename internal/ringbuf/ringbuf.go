@@ -175,6 +175,9 @@ func (b *Buffer) blockUntilNotFull(t *sim.Task) bool {
 			blockedAt := t.Now()
 			t.Block(&b.notFull)
 			b.Rec.Observe(obs.HRingBlockWait, t.Now()-blockedAt)
+			if b.Rec.ProfilingEnabled() {
+				t.ChargeWait(obs.LblRingWait, blockedAt)
+			}
 		} else {
 			t.Block(&b.notFull)
 		}
@@ -301,9 +304,23 @@ func (b *Buffer) Get(t *sim.Task) (Entry, bool) {
 		if b.closed {
 			return Entry{}, false
 		}
-		t.Block(&b.notEmpty)
+		b.blockEmpty(t)
 	}
 	return b.take(t), true
+}
+
+// blockEmpty parks a consumer on the empty buffer, attributing the
+// blocked interval to the ring_wait profiling dimension when profiling
+// is on (one episode per park, charged under the task's current label
+// stack).
+func (b *Buffer) blockEmpty(t *sim.Task) {
+	if b.Rec.ProfilingEnabled() {
+		blockedAt := t.Now()
+		t.Block(&b.notEmpty)
+		t.ChargeWait(obs.LblRingWait, blockedAt)
+	} else {
+		t.Block(&b.notEmpty)
+	}
 }
 
 // DrainUpTo removes up to max pending entries (all of them when max <= 0)
@@ -318,7 +335,7 @@ func (b *Buffer) DrainUpTo(t *sim.Task, dst []Entry, max int) []Entry {
 		if b.closed {
 			return dst
 		}
-		t.Block(&b.notEmpty)
+		b.blockEmpty(t)
 	}
 	n := b.count
 	if max > 0 && n > max {
@@ -340,6 +357,14 @@ func (b *Buffer) DrainInto(t *sim.Task, dst []Entry) []Entry {
 // leader uses this to wait for the follower to consume each recorded
 // event without burning a scheduler dispatch per poll.
 func (b *Buffer) WaitDrained(t *sim.Task) {
+	if b.Rec.ProfilingEnabled() && b.count > 0 && !b.closed {
+		blockedAt := t.Now()
+		for b.count > 0 && !b.closed {
+			t.Block(&b.drained)
+		}
+		t.ChargeWait(obs.LblLockstepWait, blockedAt)
+		return
+	}
 	for b.count > 0 && !b.closed {
 		t.Block(&b.drained)
 	}

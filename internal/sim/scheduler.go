@@ -94,6 +94,12 @@ type Scheduler struct {
 	// the slice ended — so it cannot perturb scheduling or the clock.
 	OnSlice func(task string, start, end time.Duration)
 
+	// profiler, if non-nil, receives exact per-segment attribution of
+	// every slice (see SetProfiler). segStart tracks the open segment's
+	// left edge while a task runs; label pushes flush and restart it.
+	profiler SliceProfiler
+	segStart time.Duration
+
 	crashes      []CrashInfo
 	tracing      bool
 	trace        []string
@@ -314,8 +320,14 @@ func (s *Scheduler) dispatch(t *Task) {
 		}
 	}
 	sliceStart := s.clock
+	if s.profiler != nil {
+		s.segStart = sliceStart
+	}
 	t.resume <- struct{}{}
 	<-s.parked
+	if s.profiler != nil {
+		s.flushSegment(t)
+	}
 	s.current = nil
 	if s.OnSlice != nil {
 		s.OnSlice(t.name, sliceStart, s.clock)

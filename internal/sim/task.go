@@ -27,6 +27,10 @@ type Task struct {
 	// queue the task is currently blocked on, for removal on Kill.
 	waitingOn *WaitQueue
 	joiners   WaitQueue
+
+	// labels is the profiling attribution stack (see PushLabel). Always
+	// empty unless a SliceProfiler is attached to the scheduler.
+	labels []string
 }
 
 // Name returns the task's name, as passed to Scheduler.Go.
